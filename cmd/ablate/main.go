@@ -1,0 +1,72 @@
+// Command ablate runs the ablation studies of the reproduction: the design
+// choices of the paper's placement module isolated one at a time (see
+// DESIGN.md §4 for the index).
+//
+//	ablate                  # run every ablation at a reduced scale
+//	ablate -exp policies    # placement policies (A1)
+//	ablate -exp control     # control-thread strategies (A2)
+//	ablate -exp oversub     # oversubscription (A3)
+//	ablate -exp granularity # block granularity (A4)
+//	ablate -exp topology    # machine shapes (A5)
+//	ablate -exp distribute  # NUMA distribution (A6)
+//	ablate -exp ompsched    # OpenMP loop schedules (A7)
+//	ablate -full            # paper-scale matrix and iterations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, all")
+		full = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations)")
+		seed = flag.Int64("seed", 7, "simulated OS scheduler seed")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{Rows: 4096, Cols: 4096, Iters: 10, Cores: 48, Seed: *seed}
+	if *full {
+		cfg = experiment.Config{Seed: *seed}
+	}
+
+	type ablation struct {
+		name  string
+		title string
+		run   func(experiment.Config) ([]experiment.AblationRow, error)
+	}
+	all := []ablation{
+		{"policies", "A1: placement policies (LK23, blocks = cores)", experiment.AblationPolicies},
+		{"control", "A2: control-thread strategies", experiment.AblationControlThreads},
+		{"oversub", "A3: oversubscription (blocks vs cores)", experiment.AblationOversubscription},
+		{"granularity", "A4: block granularity", experiment.AblationGranularity},
+		{"topology", "A5: topology shapes (192 cores each)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			return experiment.AblationTopology(c, experiment.DefaultTopologyCases())
+		}},
+		{"distribute", "A6: NUMA distribution (cluster + distribute vs cluster only)", experiment.AblationDistribution},
+		{"ompsched", "A7: OpenMP loop schedules vs bound ORWL", experiment.AblationOMPSchedule},
+	}
+
+	ran := false
+	for _, a := range all {
+		if *exp != "all" && *exp != a.name {
+			continue
+		}
+		ran = true
+		rows, err := a.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablate: %s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		fmt.Print(experiment.FormatAblation(a.title, rows))
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ablate: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

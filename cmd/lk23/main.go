@@ -1,0 +1,79 @@
+// Command lk23 reproduces the paper's evaluation: the Livermore Kernel 23
+// benchmark on a simulated NUMA machine, comparing ORWL with topology-aware
+// binding, ORWL without binding, and an OpenMP-style baseline.
+//
+// Reproduce Figure 1 (the whole sweep):
+//
+//	lk23 -figure1
+//
+// Run a single configuration:
+//
+//	lk23 -impl orwl-bind -cores 192
+//	lk23 -impl openmp -cores 48 -rows 8192 -cols 8192 -iters 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		figure1 = flag.Bool("figure1", false, "run the full Figure 1 sweep (all implementations × core counts)")
+		impl    = flag.String("impl", "orwl-bind", "implementation: orwl-bind, orwl-nobind, openmp")
+		cores   = flag.Int("cores", 192, "number of cores (sockets of -cores-per-socket)")
+		points  = flag.String("points", "", "comma-separated core counts for -figure1 (default 8,16,32,48,96,144,192)")
+		rows    = flag.Int("rows", 16384, "matrix rows")
+		cols    = flag.Int("cols", 16384, "matrix columns")
+		iters   = flag.Int("iters", 100, "iterations")
+		perSock = flag.Int("cores-per-socket", 8, "cores per socket")
+		seed    = flag.Int64("seed", 42, "seed for the simulated OS scheduler")
+		blocks  = flag.Int("blocks", 0, "ORWL block count (default: one per core)")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{
+		Rows: *rows, Cols: *cols, Iters: *iters,
+		Cores: *cores, CoresPerSocket: *perSock, Seed: *seed,
+		BlocksOverride: *blocks,
+	}
+
+	if *figure1 {
+		pts := experiment.DefaultFigure1Points()
+		if *points != "" {
+			pts = nil
+			for _, f := range strings.Split(*points, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					fatalf("bad -points entry %q: %v", f, err)
+				}
+				pts = append(pts, n)
+			}
+		}
+		fmt.Printf("Livermore Kernel 23, %dx%d doubles, %d iterations (simulated seconds)\n",
+			*rows, *cols, *iters)
+		rowsOut, err := experiment.Figure1(pts, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(experiment.FormatFigure1(rowsOut))
+		return
+	}
+
+	res, err := experiment.Run(experiment.Impl(*impl), cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println(res)
+	fmt.Printf("  tasks=%d strategy=%s migrations=%d\n", res.Tasks, res.Strategy, res.Migrations)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "lk23: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Command topo inspects a synthetic hardware topology: the tree, the
+// NUMA distance table (SLIT style) and the PU-to-PU latency model.
+//
+//	topo -spec "pack:24 l3:1 core:8 pu:1"
+//	topo -spec "pack:2 numa:2 core:4 pu:2" -latency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		spec    = flag.String("spec", "pack:24 l3:1 core:8 pu:1", "topology spec")
+		latency = flag.Bool("latency", false, "print the PU-to-PU latency matrix (small machines only)")
+	)
+	flag.Parse()
+
+	topo, err := topology.FromSpec(*spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topo: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(topo)
+	fmt.Printf("normalized spec: %s\n\n", topo.Spec())
+	fmt.Print(topo.Render())
+
+	fmt.Println("\nNUMA distances (SLIT style, local = 10):")
+	for _, row := range topo.NUMADistanceMatrix() {
+		for _, d := range row {
+			fmt.Printf(" %3d", d)
+		}
+		fmt.Println()
+	}
+
+	if *latency {
+		if topo.NumPUs() > 32 {
+			fmt.Println("\n(latency matrix suppressed: more than 32 PUs)")
+			return
+		}
+		fmt.Println("\nPU-to-PU latency (cycles):")
+		for _, row := range topo.LatencyMatrix() {
+			for _, l := range row {
+				fmt.Printf(" %6.0f", l)
+			}
+			fmt.Println()
+		}
+	}
+}

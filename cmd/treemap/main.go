@@ -1,0 +1,125 @@
+// Command treemap computes a TreeMatch mapping (the paper's Algorithm 1)
+// for a communication matrix on a topology, and reports the placement and
+// its hop-weighted cost against the round-robin baseline.
+//
+// The matrix comes from a file in the format of internal/comm (first line:
+// order; then rows; '#' comments allowed), or from a built-in generator:
+//
+//	treemap -topo "pack:4 core:4 pu:1" -matrix comm.txt
+//	treemap -topo "pack:24 l3:1 core:8 pu:1" -stencil 16x12
+//	treemap -topo "pack:2 core:4 pu:2" -ring 8 -controls
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/topology"
+	"repro/internal/treematch"
+)
+
+func main() {
+	var (
+		topoSpec = flag.String("topo", "pack:4 core:4 pu:1", "topology spec (see internal/topology)")
+		matrixF  = flag.String("matrix", "", "communication matrix file")
+		stencil  = flag.String("stencil", "", "generate a BXxBY 8-neighbour stencil matrix, e.g. 16x12")
+		ring     = flag.Int("ring", 0, "generate an n-task ring matrix")
+		controls = flag.Bool("controls", false, "run the full Algorithm 1 with ORWL control threads")
+		dist     = flag.Bool("distribute", true, "spread tasks over NUMA nodes when resources are spare")
+	)
+	flag.Parse()
+
+	topo, err := topology.FromSpec(*topoSpec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	m, err := loadMatrix(*matrixF, *stencil, *ring)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	tree, err := treematch.FromTopology(topo, topology.Core)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("topology: %s -> abstract %s (%d cores)\n", topo, tree, tree.Leaves())
+	fmt.Printf("matrix: order %d, total volume %.0f\n", m.Order(), m.TotalVolume())
+
+	opt := treematch.Options{Distribute: *dist}
+	if *controls {
+		smt := 1
+		if topo.SMT() {
+			smt = 2
+		}
+		res, err := treematch.Map(treematch.Target{Tree: tree, SMTWays: smt}, m, opt)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("control strategy: %s, virtual arity: %d\n", res.Strategy, res.VirtualArity)
+		for i, core := range res.Assignment {
+			fmt.Printf("  %-12s -> core %-3d control -> %s\n", m.Label(i), core, coreName(res.Control[i]))
+		}
+		reportCost(tree, m, res.Assignment)
+		return
+	}
+
+	mp, err := treematch.MapMatrix(tree, m, opt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("virtual arity: %d\n", mp.VirtualArity)
+	for i, core := range mp.Assignment {
+		fmt.Printf("  %-12s -> core %d (slot %d)\n", m.Label(i), core, mp.Slot[i])
+	}
+	reportCost(tree, m, mp.Assignment)
+}
+
+func loadMatrix(file, stencil string, ring int) (*comm.Matrix, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return comm.Read(f)
+	case stencil != "":
+		parts := strings.SplitN(stencil, "x", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad -stencil %q, want BXxBY", stencil)
+		}
+		bx, err1 := strconv.Atoi(parts[0])
+		by, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || bx < 1 || by < 1 {
+			return nil, fmt.Errorf("bad -stencil %q", stencil)
+		}
+		return comm.Stencil2D(bx, by, 1000, 10), nil
+	case ring > 0:
+		return comm.Ring(ring, 1000), nil
+	default:
+		return nil, fmt.Errorf("one of -matrix, -stencil, -ring is required")
+	}
+}
+
+func reportCost(tree *treematch.Tree, m *comm.Matrix, assignment []int) {
+	tm := treematch.Cost(tree, m, assignment)
+	rr := treematch.Cost(tree, m, treematch.RoundRobin(tree, m.Order()))
+	fmt.Printf("hop-weighted cost: treematch %.0f, round-robin %.0f (%.1f%% of baseline)\n",
+		tm, rr, 100*tm/rr)
+}
+
+func coreName(c int) string {
+	if c < 0 {
+		return "OS"
+	}
+	return fmt.Sprintf("core %d", c)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "treemap: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+package comm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTo serializes the matrix in a simple text format compatible with the
+// inputs TreeMatch-style tools consume: a first line with the order n,
+// followed by n lines of n space-separated volumes. Labels are emitted as
+// trailing "# name" comments, one per row, when set. It returns the number
+// of bytes written.
+func (m *Matrix) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "%d\n", m.n)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			sep := " "
+			if j == 0 {
+				sep = ""
+			}
+			n, err = fmt.Fprintf(bw, "%s%g", sep, m.At(i, j))
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+		if m.labels != nil {
+			n, err = fmt.Fprintf(bw, "  # %s", m.labels[i])
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+		n, err = fmt.Fprintln(bw)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Read parses a matrix in the format produced by WriteTo. Blank lines and
+// lines starting with '#' are ignored; a trailing "# label" on a row sets
+// the row's entity label.
+func Read(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var m *Matrix
+	row := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var label string
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			label = strings.TrimSpace(line[idx+1:])
+			line = strings.TrimSpace(line[:idx])
+		}
+		if m == nil {
+			n, err := strconv.Atoi(line)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("comm: bad order line %q", line)
+			}
+			m = New(n)
+			continue
+		}
+		if row >= m.n {
+			return nil, fmt.Errorf("comm: more than %d rows", m.n)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != m.n {
+			return nil, fmt.Errorf("comm: row %d has %d entries, want %d", row, len(fields), m.n)
+		}
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("comm: row %d entry %d: %v", row, j, err)
+			}
+			m.Set(row, j, v)
+		}
+		if label != "" {
+			m.SetLabel(row, label)
+		}
+		row++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("comm: empty input")
+	}
+	if row != m.n {
+		return nil, fmt.Errorf("comm: got %d rows, want %d", row, m.n)
+	}
+	return m, nil
+}
+
+// String renders small matrices for debugging; large matrices are summarized.
+func (m *Matrix) String() string {
+	if m.n > 16 {
+		return fmt.Sprintf("comm.Matrix(order=%d, total=%g)", m.n, m.TotalVolume())
+	}
+	var b strings.Builder
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%6g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

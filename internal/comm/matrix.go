@@ -1,0 +1,230 @@
+// Package comm represents the communication (affinity) matrices that drive
+// topology-aware placement.
+//
+// Entry (i,j) of a matrix is the data volume, in bytes, exchanged between
+// computing entities i and j over the lifetime of the application (or of one
+// steady-state iteration; TreeMatch only cares about relative weights). The
+// ORWL runtime extracts such a matrix automatically from the way tasks,
+// handles and locations are composed (see internal/placement); this package
+// also provides synthetic generators for the workloads used in the paper's
+// evaluation and in tests.
+package comm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a square communication matrix. The zero value is unusable; use
+// New. Methods panic on out-of-range indices, mirroring slice semantics.
+type Matrix struct {
+	n      int
+	v      []float64 // row-major, length n*n
+	labels []string  // optional entity names, length n when present
+}
+
+// New returns an order-n zero matrix.
+func New(n int) *Matrix {
+	if n < 0 {
+		panic("comm: negative matrix order")
+	}
+	return &Matrix{n: n, v: make([]float64, n*n)}
+}
+
+// Order returns the number of computing entities (the matrix dimension).
+func (m *Matrix) Order() int { return m.n }
+
+// At returns the volume exchanged between entities i and j.
+func (m *Matrix) At(i, j int) float64 { return m.v[i*m.n+j] }
+
+// Set assigns the volume exchanged between entities i and j.
+func (m *Matrix) Set(i, j int, vol float64) { m.v[i*m.n+j] = vol }
+
+// Add accumulates volume onto entry (i,j).
+func (m *Matrix) Add(i, j int, vol float64) { m.v[i*m.n+j] += vol }
+
+// AddSym accumulates volume onto both (i,j) and (j,i), the natural operation
+// when recording one message of the given size between two entities.
+func (m *Matrix) AddSym(i, j int, vol float64) {
+	m.v[i*m.n+j] += vol
+	if i != j {
+		m.v[j*m.n+i] += vol
+	}
+}
+
+// Label returns the name of entity i, or "t<i>" when no labels were set.
+func (m *Matrix) Label(i int) string {
+	if m.labels == nil {
+		return fmt.Sprintf("t%d", i)
+	}
+	return m.labels[i]
+}
+
+// SetLabel names entity i.
+func (m *Matrix) SetLabel(i int, s string) {
+	if m.labels == nil {
+		m.labels = make([]string, m.n)
+		for k := range m.labels {
+			m.labels[k] = fmt.Sprintf("t%d", k)
+		}
+	}
+	m.labels[i] = s
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.n)
+	copy(c.v, m.v)
+	if m.labels != nil {
+		c.labels = append([]string(nil), m.labels...)
+	}
+	return c
+}
+
+// IsSymmetric reports whether the matrix equals its transpose exactly.
+func (m *Matrix) IsSymmetric() bool {
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Symmetrize replaces the matrix with (M + Mᵀ)/2 in place and returns it.
+// TreeMatch assumes affinity is symmetric.
+func (m *Matrix) Symmetrize() *Matrix {
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			avg := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, avg)
+			m.Set(j, i, avg)
+		}
+	}
+	return m
+}
+
+// TotalVolume returns the sum of all off-diagonal entries, i.e. twice the
+// total pairwise communication volume of a symmetric matrix.
+func (m *Matrix) TotalVolume() float64 {
+	var s float64
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if i != j {
+				s += m.At(i, j)
+			}
+		}
+	}
+	return s
+}
+
+// RowVolume returns the total off-diagonal volume of row i: how much entity
+// i exchanges with everyone else (in its outgoing direction).
+func (m *Matrix) RowVolume(i int) float64 {
+	var s float64
+	for j := 0; j < m.n; j++ {
+		if j != i {
+			s += m.At(i, j)
+		}
+	}
+	return s
+}
+
+// Aggregate builds the quotient matrix over a partition of the entities:
+// entry (a,b) of the result is the total volume between the entities of
+// groups[a] and those of groups[b]; diagonal entries accumulate the volume
+// internal to each group. Every entity index must appear in exactly one
+// group. This is the AggregateComMatrix step of the paper's Algorithm 1.
+func (m *Matrix) Aggregate(groups [][]int) (*Matrix, error) {
+	seen := make([]bool, m.n)
+	for _, g := range groups {
+		for _, e := range g {
+			if e < 0 || e >= m.n {
+				return nil, fmt.Errorf("comm: aggregate: entity %d out of range [0,%d)", e, m.n)
+			}
+			if seen[e] {
+				return nil, fmt.Errorf("comm: aggregate: entity %d appears in two groups", e)
+			}
+			seen[e] = true
+		}
+	}
+	for e, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("comm: aggregate: entity %d not covered by any group", e)
+		}
+	}
+	agg := New(len(groups))
+	for a, ga := range groups {
+		for b, gb := range groups {
+			var s float64
+			for _, i := range ga {
+				for _, j := range gb {
+					s += m.At(i, j)
+				}
+			}
+			agg.Set(a, b, s)
+		}
+	}
+	return agg, nil
+}
+
+// ExtendZero returns a copy of the matrix grown to the given larger order;
+// the new rows and columns are zero. Used when virtual entities (spare
+// slots, unmapped control threads) must be represented. Labels of the new
+// entities default to "v<i>".
+func (m *Matrix) ExtendZero(order int) (*Matrix, error) {
+	if order < m.n {
+		return nil, fmt.Errorf("comm: cannot extend order %d down to %d", m.n, order)
+	}
+	e := New(order)
+	for i := 0; i < m.n; i++ {
+		copy(e.v[i*order:i*order+m.n], m.v[i*m.n:(i+1)*m.n])
+	}
+	if m.labels != nil || order > m.n {
+		e.labels = make([]string, order)
+		for i := range e.labels {
+			switch {
+			case i < m.n:
+				e.labels[i] = m.Label(i)
+			default:
+				e.labels[i] = fmt.Sprintf("v%d", i)
+			}
+		}
+	}
+	return e, nil
+}
+
+// MaxEntry returns the largest entry of the matrix (0 for an empty matrix).
+func (m *Matrix) MaxEntry() float64 {
+	var mx float64
+	for _, x := range m.v {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}
+
+// Scale multiplies every entry by f in place and returns the matrix.
+func (m *Matrix) Scale(f float64) *Matrix {
+	for i := range m.v {
+		m.v[i] *= f
+	}
+	return m
+}
+
+// Equal reports whether two matrices have the same order and entries within
+// the given absolute tolerance.
+func (m *Matrix) Equal(o *Matrix, tol float64) bool {
+	if m.n != o.n {
+		return false
+	}
+	for i := range m.v {
+		if math.Abs(m.v[i]-o.v[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+package comm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := New(3)
+	if m.Order() != 3 {
+		t.Fatalf("Order = %d", m.Order())
+	}
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if got := m.At(0, 1); got != 7 {
+		t.Errorf("At(0,1) = %v, want 7", got)
+	}
+	if got := m.At(1, 0); got != 0 {
+		t.Errorf("At(1,0) = %v, want 0 before AddSym", got)
+	}
+	m.AddSym(1, 2, 3)
+	if m.At(1, 2) != 3 || m.At(2, 1) != 3 {
+		t.Errorf("AddSym failed: %v %v", m.At(1, 2), m.At(2, 1))
+	}
+	m.AddSym(2, 2, 4)
+	if m.At(2, 2) != 4 {
+		t.Errorf("AddSym on diagonal doubled: %v", m.At(2, 2))
+	}
+	if m.IsSymmetric() {
+		t.Errorf("matrix with (0,1)=7,(1,0)=0 reported symmetric")
+	}
+	m.Symmetrize()
+	if !m.IsSymmetric() {
+		t.Errorf("Symmetrize did not symmetrize")
+	}
+	if got := m.At(0, 1); got != 3.5 {
+		t.Errorf("Symmetrize(0,1) = %v, want 3.5", got)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	m := New(2)
+	if m.Label(1) != "t1" {
+		t.Errorf("default label = %q", m.Label(1))
+	}
+	m.SetLabel(1, "worker")
+	if m.Label(1) != "worker" || m.Label(0) != "t0" {
+		t.Errorf("labels = %q, %q", m.Label(0), m.Label(1))
+	}
+	c := m.Clone()
+	c.SetLabel(0, "x")
+	if m.Label(0) != "t0" {
+		t.Errorf("Clone shares label storage")
+	}
+}
+
+func TestTotalAndRowVolume(t *testing.T) {
+	m := Ring(4, 10)
+	// 4 edges × 10 × 2 directions.
+	if got := m.TotalVolume(); got != 80 {
+		t.Errorf("TotalVolume = %v, want 80", got)
+	}
+	if got := m.RowVolume(0); got != 20 {
+		t.Errorf("RowVolume(0) = %v, want 20", got)
+	}
+	m.Set(0, 0, 99) // diagonal must not count
+	if got := m.TotalVolume(); got != 80 {
+		t.Errorf("TotalVolume with diagonal = %v, want 80", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	m := Ring(4, 1) // 0-1-2-3-0
+	agg, err := m.Aggregate([][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if agg.Order() != 2 {
+		t.Fatalf("order = %d", agg.Order())
+	}
+	// Internal volume of {0,1}: edge 0-1 counted in both directions = 2.
+	if got := agg.At(0, 0); got != 2 {
+		t.Errorf("internal volume = %v, want 2", got)
+	}
+	// Cross volume: edges 1-2 and 3-0, both directions = 2 per direction sum.
+	if got := agg.At(0, 1); got != 2 {
+		t.Errorf("cross volume = %v, want 2", got)
+	}
+	if !agg.IsSymmetric() {
+		t.Errorf("aggregate of symmetric matrix not symmetric")
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	m := New(3)
+	cases := [][][]int{
+		{{0, 1}},         // missing entity 2
+		{{0, 1}, {1, 2}}, // duplicate 1
+		{{0, 1}, {2, 3}}, // out of range
+		{{0}, {1}, {-1}}, // negative
+	}
+	for _, groups := range cases {
+		if _, err := m.Aggregate(groups); err == nil {
+			t.Errorf("Aggregate(%v) succeeded, want error", groups)
+		}
+	}
+}
+
+// TestAggregatePreservesVolume is the core conservation property of the
+// paper's AggregateComMatrix step: grouping must neither create nor destroy
+// communication volume (internal volume moves to the diagonal).
+func TestAggregatePreservesVolume(t *testing.T) {
+	f := func(seed int64, split uint8) bool {
+		n := 8
+		m := Random(n, 0.6, 100, seed)
+		k := int(split%3) + 2 // 2..4 groups
+		groups := make([][]int, k)
+		for i := 0; i < n; i++ {
+			groups[i%k] = append(groups[i%k], i)
+		}
+		agg, err := m.Aggregate(groups)
+		if err != nil {
+			return false
+		}
+		// Total including diagonal must be conserved.
+		var before, after float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				before += m.At(i, j)
+			}
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				after += agg.At(i, j)
+			}
+		}
+		return almostEqual(before, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+absf(a)+absf(b))
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestExtendZero(t *testing.T) {
+	m := Ring(3, 5)
+	m.SetLabel(0, "a")
+	e, err := m.ExtendZero(5)
+	if err != nil {
+		t.Fatalf("ExtendZero: %v", err)
+	}
+	if e.Order() != 5 {
+		t.Fatalf("order = %d", e.Order())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if e.At(i, j) != m.At(i, j) {
+				t.Errorf("entry (%d,%d) changed: %v vs %v", i, j, e.At(i, j), m.At(i, j))
+			}
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if e.At(i, 4) != 0 || e.At(4, i) != 0 {
+			t.Errorf("extended entries not zero at %d", i)
+		}
+	}
+	if e.Label(0) != "a" || e.Label(4) != "v4" {
+		t.Errorf("labels = %q, %q", e.Label(0), e.Label(4))
+	}
+	if _, err := m.ExtendZero(2); err == nil {
+		t.Errorf("shrinking ExtendZero succeeded")
+	}
+}
+
+func TestScaleMaxEqual(t *testing.T) {
+	m := Ring(3, 5)
+	if m.MaxEntry() != 5 {
+		t.Errorf("MaxEntry = %v", m.MaxEntry())
+	}
+	c := m.Clone()
+	c.Scale(2)
+	if c.MaxEntry() != 10 {
+		t.Errorf("scaled MaxEntry = %v", c.MaxEntry())
+	}
+	if c.Equal(m, 0.001) {
+		t.Errorf("scaled matrix equal to original")
+	}
+	if !c.Equal(m.Clone().Scale(2), 1e-12) {
+		t.Errorf("identical matrices not equal")
+	}
+	if m.Equal(New(2), 1) {
+		t.Errorf("different orders reported equal")
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	m := Random(6, 0.5, 1e6, 42)
+	m.SetLabel(2, "two")
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !got.Equal(m, 1e-9) {
+		t.Errorf("round trip changed entries")
+	}
+	if got.Label(2) != "two" {
+		t.Errorf("round trip lost label: %q", got.Label(2))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x\n",
+		"2\n1 2\n",          // missing row
+		"2\n1 2 3\n4 5 6\n", // wrong width
+		"2\n1 a\n3 4\n",     // bad number
+		"1\n0\n0\n",         // extra row
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := Ring(3, 1)
+	if !strings.Contains(small.String(), "\n") {
+		t.Errorf("small String not rendered as grid: %q", small.String())
+	}
+	big := New(64)
+	if !strings.Contains(big.String(), "order=64") {
+		t.Errorf("large String = %q", big.String())
+	}
+}

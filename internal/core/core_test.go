@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/orwl"
+	"repro/internal/placement"
+)
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys, err := NewSystem(Options{TopologySpec: "pack:2 l3:1 core:4 pu:1", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := kernels.NewGrid(16, 16, 5)
+	prog, err := kernels.Build(sys.Runtime(), 16, 16, kernels.BuildOptions{
+		BX: 2, BY: 2, Iters: 3, Costs: kernels.LK23Costs, Grid: g, Cell: g.Cell,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := make([]bool, len(prog.Tasks))
+	for i := range heavy {
+		heavy[i] = i%9 == 0
+	}
+	if err := sys.Run(heavy); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Seconds() <= 0 {
+		t.Errorf("no simulated time")
+	}
+	if sys.Assignment() == nil || sys.Assignment().Policy != "treematch" {
+		t.Errorf("assignment = %+v", sys.Assignment())
+	}
+	res, err := prog.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := kernels.RunJacobiLK23(g, 3); !res.Equal(want, 0) {
+		t.Errorf("numerics changed by the core pipeline")
+	}
+	rep := sys.Report()
+	for _, want := range []string{"machine:", "treematch", "simulated time"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Report missing %q:\n%s", want, rep)
+		}
+	}
+	if err := sys.Run(nil); err == nil {
+		t.Errorf("second Run accepted")
+	}
+}
+
+func TestSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Machine().Topology().NumCores(); got != 192 {
+		t.Errorf("default machine cores = %d, want 192 (the paper's SMP)", got)
+	}
+}
+
+func TestSystemBadSpec(t *testing.T) {
+	if _, err := NewSystem(Options{TopologySpec: "bogus:1"}); err == nil {
+		t.Errorf("bad spec accepted")
+	}
+}
+
+func TestSystemNoBindPolicy(t *testing.T) {
+	sys, err := NewSystem(Options{TopologySpec: "pack:2 core:2 pu:1", Policy: placement.NoBind{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := sys.Runtime().NewLocation("x", 8)
+	task := sys.Runtime().AddTask("t", func(task *orwl.Task) error {
+		h := task.Handle(0)
+		if err := h.Acquire(); err != nil {
+			return err
+		}
+		return h.Release()
+	})
+	task.NewHandle(loc, orwl.Write)
+	if err := sys.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Assignment().Policy != "nobind" {
+		t.Errorf("policy = %s", sys.Assignment().Policy)
+	}
+	if task.PU() != -1 {
+		t.Errorf("nobind bound the task to %d", task.PU())
+	}
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure1Row is one x-axis point of the paper's Figure 1: the processing
+// time of the three implementations at a given core count.
+type Figure1Row struct {
+	Cores  int
+	Bind   float64 // ORWL with topology-aware binding, seconds
+	NoBind float64 // ORWL unbound, seconds
+	OMP    float64 // OpenMP baseline, seconds
+}
+
+// DefaultFigure1Points returns the core counts swept for Figure 1: one
+// socket up to the full 24-socket, 192-core machine.
+func DefaultFigure1Points() []int {
+	return []int{8, 16, 32, 48, 96, 144, 192}
+}
+
+// Figure1 regenerates the paper's Figure 1: LK23 processing time for
+// ORWL Bind, ORWL NoBind and OpenMP at each core count. cfg.Cores is
+// overridden by each point.
+func Figure1(points []int, cfg Config) ([]Figure1Row, error) {
+	var rows []Figure1Row
+	for _, cores := range points {
+		c := cfg
+		c.Cores = cores
+		row := Figure1Row{Cores: cores}
+		for _, impl := range []Impl{ORWLBind, ORWLNoBind, OpenMP} {
+			res, err := Run(impl, c)
+			if err != nil {
+				return nil, fmt.Errorf("figure1 at %d cores, %s: %w", cores, impl, err)
+			}
+			switch impl {
+			case ORWLBind:
+				row.Bind = res.Seconds
+			case ORWLNoBind:
+				row.NoBind = res.Seconds
+			case OpenMP:
+				row.OMP = res.Seconds
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFigure1 renders the rows as the table the paper's figure plots,
+// with the two speedup columns the paper quotes (Bind vs NoBind and Bind
+// vs OpenMP).
+func FormatFigure1(rows []Figure1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s %10s %10s\n",
+		"cores", "orwl-bind", "orwl-nobind", "openmp", "nobind/bind", "omp/bind")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %11.2fs %11.2fs %11.2fs %10.2f %10.2f\n",
+			r.Cores, r.Bind, r.NoBind, r.OMP, safeRatio(r.NoBind, r.Bind), safeRatio(r.OMP, r.Bind))
+	}
+	return b.String()
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

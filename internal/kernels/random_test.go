@@ -1,0 +1,191 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/numasim"
+	"repro/internal/orwl"
+	"repro/internal/topology"
+)
+
+// simRuntimeKernels builds a runtime on a small simulated machine.
+func simRuntimeKernels(t *testing.T) *orwl.Runtime {
+	t.Helper()
+	top, err := topology.FromSpec("pack:2 l3:1 core:4 pu:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := numasim.New(top, numasim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orwl.NewRuntime(orwl.Options{Machine: mach, Seed: 5})
+}
+
+// TestORWLMatchesSequentialRandomShapes drives the block-parallel ORWL
+// implementation against the sequential reference on randomized grid and
+// partition shapes — a property-based sweep over the decomposition logic
+// (uneven splits, extreme aspect ratios, 1-wide blocks).
+func TestORWLMatchesSequentialRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		rows := 6 + rng.Intn(18)
+		cols := 6 + rng.Intn(18)
+		bx := 1 + rng.Intn(4)
+		by := 1 + rng.Intn(4)
+		if bx > cols {
+			bx = cols
+		}
+		if by > rows {
+			by = rows
+		}
+		iters := 1 + rng.Intn(4)
+		g := NewGrid(rows, cols, int64(trial))
+		want := RunJacobiLK23(g, iters)
+		got := runORWL(t, g, bx, by, iters, nil)
+		if !got.Equal(want, 0) {
+			t.Fatalf("trial %d (%dx%d grid, %dx%d blocks, %d iters): max diff %g",
+				trial, rows, cols, bx, by, iters, got.MaxAbsDiff(want))
+		}
+	}
+}
+
+// TestExtractStrip pins the strip extraction geometry exactly.
+func TestExtractStrip(t *testing.T) {
+	// 3x4 block with cells numbered 0..11 row-major.
+	b := Block{R0: 0, C0: 0, H: 3, W: 4}
+	za := make([]float64, 12)
+	for i := range za {
+		za[i] = float64(i)
+	}
+	cases := []struct {
+		d    comm.Frontier
+		want []float64
+	}{
+		{comm.OpN, []float64{0, 1, 2, 3}},
+		{comm.OpS, []float64{8, 9, 10, 11}},
+		{comm.OpE, []float64{3, 7, 11}},
+		{comm.OpW, []float64{0, 4, 8}},
+		{comm.OpNE, []float64{3}},
+		{comm.OpNW, []float64{0}},
+		{comm.OpSE, []float64{11}},
+		{comm.OpSW, []float64{8}},
+	}
+	for _, tc := range cases {
+		dst := make([]float64, stripLen(b, tc.d))
+		extractStrip(b, za, tc.d, dst)
+		for i := range tc.want {
+			if dst[i] != tc.want[i] {
+				t.Errorf("%v strip = %v, want %v", tc.d, dst, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestOppositeInvolution: opposite is a self-inverse permutation of the
+// eight directions.
+func TestOppositeInvolution(t *testing.T) {
+	for d := comm.OpN; d <= comm.OpSW; d++ {
+		if opposite(opposite(d)) != d {
+			t.Errorf("opposite(opposite(%v)) = %v", d, opposite(opposite(d)))
+		}
+		if opposite(d) == d {
+			t.Errorf("opposite(%v) is itself", d)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("opposite(main) did not panic")
+		}
+	}()
+	opposite(comm.OpMain)
+}
+
+// TestFrontierDirsConsistent: the direction table and opposite() agree:
+// walking d then opposite(d) returns to the start.
+func TestFrontierDirsConsistent(t *testing.T) {
+	for d := comm.OpN; d <= comm.OpSW; d++ {
+		v := frontierDirs[d]
+		o := frontierDirs[opposite(d)]
+		if v[0]+o[0] != 0 || v[1]+o[1] != 0 {
+			t.Errorf("%v=%v and %v=%v are not inverse offsets", d, v, opposite(d), o)
+		}
+	}
+}
+
+// TestMeasuredCommMatchesStructuralLK23 cross-validates three independent
+// derivations of the LK23 communication pattern: the synthetic generator
+// (comm.LK23OpLevel), the structural extraction from the program
+// (CommMatrix — the placement module's input), and the volumes actually
+// observed during execution (MeasuredCommMatrix). Per iteration the
+// measured volumes equal the structural ones, except that block-interior
+// strips flow only from iteration 1 on (iteration 0 reads the preset
+// blocks, produced by nobody).
+func TestMeasuredCommMatchesStructuralLK23(t *testing.T) {
+	const iters = 6
+	rt := orwl.NewRuntime(orwl.Options{})
+	g := NewGrid(12, 12, 31)
+	prog, err := Build(rt, 12, 12, BuildOptions{
+		BX: 2, BY: 2, Iters: iters, Costs: LK23Costs, Grid: g, Cell: g.Cell,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	structural := rt.CommMatrix()
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	measured := rt.MeasuredCommMatrix()
+	for i := 0; i < measured.Order(); i++ {
+		for j := 0; j < measured.Order(); j++ {
+			if i == j {
+				continue
+			}
+			per := structural.At(i, j)
+			got := measured.At(i, j)
+			// Main↔frontier volume through the block location starts at
+			// iteration 1 (N-1 handoffs); frontier↔neighbour-main volume
+			// through the frontier location flows every iteration (N).
+			wantLo, wantHi := per*float64(iters-1), per*float64(iters)
+			if got < wantLo-1e-9 || got > wantHi+1e-9 {
+				t.Errorf("measured(%s,%s) = %v, want in [%v,%v] (structural %v/iter)",
+					structural.Label(i), structural.Label(j), got, wantLo, wantHi, per)
+			}
+		}
+	}
+	_ = prog
+}
+
+// TestCostOnlyAndRealChargeSameSimTime: the cost-only mode must price an
+// identical program identically to the real-arithmetic mode (the arithmetic
+// must not leak into the virtual clock).
+func TestCostOnlyAndRealChargeSameSimTime(t *testing.T) {
+	run := func(real bool) float64 {
+		rt := simRuntimeKernels(t)
+		opts := BuildOptions{BX: 2, BY: 2, Iters: 3, Costs: LK23Costs}
+		if real {
+			g := NewGrid(16, 16, 4)
+			opts.Grid = g
+			opts.Cell = g.Cell
+		}
+		prog, err := Build(rt, 16, 16, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, task := range prog.Tasks {
+			if err := rt.Bind(task, i%rt.Machine().Topology().NumPUs()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.MakespanCycles()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Errorf("cost-only %v != real %v simulated cycles", a, b)
+	}
+}

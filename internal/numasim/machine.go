@@ -1,0 +1,387 @@
+// Package numasim is a deterministic virtual-time simulator of a NUMA
+// shared-memory machine. It substitutes for the 192-core SMP of the paper's
+// evaluation, which cannot be reproduced directly in Go: the Go scheduler
+// offers no core pinning, and the development container has two cores.
+//
+// The simulator does not interpret instructions. Instead, execution contexts
+// (Proc) carry a virtual clock in CPU cycles, and the workload charges three
+// kinds of costs against it:
+//
+//   - Compute: arithmetic, converted through a flops-per-cycle rate;
+//   - memory traffic (MemRead/MemWrite): bytes moved between the Proc's
+//     current PU and the NUMA node holding a Region, priced by latency,
+//     distance-degraded bandwidth, and per-node contention;
+//   - transfers (TransferCost): the cost of handing data from one PU to
+//     another, used by the ORWL runtime when a lock (and the data it
+//     protects) moves between tasks — cheap under a shared cache, expensive
+//     across sockets.
+//
+// All costs are pure functions of (topology, placement, workload), so the
+// resulting makespan — the maximum of the final clocks — is deterministic
+// and independent of the real Go scheduler. Contention is modelled with
+// static per-node accessor counts derived from the placement, which keeps
+// the engine order-insensitive (see DESIGN.md §5.2).
+package numasim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// Config holds the microarchitectural constants of the simulated machine.
+// Zero fields are replaced by the defaults of DefaultConfig.
+type Config struct {
+	// FlopsPerCycle is the per-core arithmetic throughput (FLOP/cycle).
+	FlopsPerCycle float64
+	// CacheBandwidthBytesPerCycle is the bandwidth of transfers served by a
+	// shared cache (used for on-chip handoffs).
+	CacheBandwidthBytesPerCycle float64
+	// SMTComputeInflation is the factor applied to compute costs when two
+	// bound Procs share a physical core (>= 1; 1 disables the effect).
+	SMTComputeInflation float64
+	// MigrationPenaltyCycles is charged every time an unbound Proc is
+	// migrated by the simulated OS scheduler (pipeline drain + cache refill
+	// latency, on top of the cold-cache effect on subsequent traffic).
+	MigrationPenaltyCycles float64
+	// MinCacheMissFactor bounds from below the fraction of a working set
+	// that must be re-streamed from memory per sweep when the set fits in
+	// the last-level cache (some traffic always escapes: cold misses,
+	// write-backs, conflict misses).
+	MinCacheMissFactor float64
+	// InterconnectBandwidth is the aggregate bandwidth, in bytes/second, of
+	// the machine's inter-socket fabric. Every remote memory stream shares
+	// it (see SetRemoteStreams); 2011-era 24-socket SMPs sustained a few
+	// GB/s per socket of cross-traffic, ~55 GB/s machine-wide.
+	InterconnectBandwidth float64
+}
+
+// DefaultConfig returns constants plausible for the 2016-era machine of the
+// paper (2-wide SSE floating point, ~32 B/cycle cache transfers).
+func DefaultConfig() Config {
+	return Config{
+		FlopsPerCycle:               2,
+		CacheBandwidthBytesPerCycle: 16,
+		SMTComputeInflation:         1.6,
+		MigrationPenaltyCycles:      50_000,
+		MinCacheMissFactor:          0.15,
+		InterconnectBandwidth:       55e9,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.FlopsPerCycle == 0 {
+		c.FlopsPerCycle = d.FlopsPerCycle
+	}
+	if c.CacheBandwidthBytesPerCycle == 0 {
+		c.CacheBandwidthBytesPerCycle = d.CacheBandwidthBytesPerCycle
+	}
+	if c.SMTComputeInflation == 0 {
+		c.SMTComputeInflation = d.SMTComputeInflation
+	}
+	if c.MigrationPenaltyCycles == 0 {
+		c.MigrationPenaltyCycles = d.MigrationPenaltyCycles
+	}
+	if c.MinCacheMissFactor == 0 {
+		c.MinCacheMissFactor = d.MinCacheMissFactor
+	}
+	if c.InterconnectBandwidth == 0 {
+		c.InterconnectBandwidth = d.InterconnectBandwidth
+	}
+	return c
+}
+
+// Machine is a simulated NUMA machine built over a hardware topology. After
+// setup (binding Procs, setting accessor counts) it is read-only and safe
+// for concurrent use by many Procs.
+type Machine struct {
+	topo *topology.Topology
+	cfg  Config
+
+	clockHz float64
+	// nodeOf[pu] is the NUMA node index local to each PU.
+	nodeOf []int
+	// coreOf[pu] is the core index of each PU.
+	coreOf []int
+	// l3Share[pu] is the slice of the innermost shared cache a PU can count
+	// on, in bytes (cache size / PUs sharing it).
+	l3Share []int64
+
+	mu sync.Mutex
+	// accessors[node] is the static contention degree of each memory node:
+	// how many execution streams hit it concurrently in steady state.
+	accessors []int
+	// remoteStreams is the static number of memory streams crossing the
+	// inter-socket fabric in steady state; they share
+	// cfg.InterconnectBandwidth.
+	remoteStreams int
+	// boundPerPU counts bound Procs per PU. SMT compute inflation applies
+	// when at least two PUs of the same core are occupied (hyperthread
+	// sharing); several Procs time-multiplexed on one PU do not inflate —
+	// they overlap in virtual time, an optimistic but deliberate choice
+	// documented in DESIGN.md.
+	boundPerPU []int
+	// pusOfCore lists the PU indices under each core.
+	pusOfCore [][]int
+}
+
+// New builds a simulated machine over the given topology.
+func New(topo *topology.Topology, cfg Config) (*Machine, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("numasim: nil topology")
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("numasim: invalid topology: %w", err)
+	}
+	m := &Machine{
+		topo:       topo,
+		cfg:        cfg.withDefaults(),
+		clockHz:    topo.Root().Attr.ClockHz,
+		nodeOf:     make([]int, topo.NumPUs()),
+		coreOf:     make([]int, topo.NumPUs()),
+		l3Share:    make([]int64, topo.NumPUs()),
+		accessors:  make([]int, topo.NumNUMANodes()),
+		boundPerPU: make([]int, topo.NumPUs()),
+		pusOfCore:  make([][]int, topo.NumCores()),
+	}
+	if m.clockHz == 0 {
+		m.clockHz = 2.27e9
+	}
+	for i, pu := range topo.PUs() {
+		m.nodeOf[i] = topo.NUMANodeOf(pu).LevelIndex
+		core := pu.Ancestor(topology.Core).LevelIndex
+		m.coreOf[i] = core
+		m.pusOfCore[core] = append(m.pusOfCore[core], i)
+		m.l3Share[i] = cacheShare(topo, pu)
+	}
+	for i := range m.accessors {
+		m.accessors[i] = 1
+	}
+	return m, nil
+}
+
+// cacheShare returns the bytes of the innermost large shared cache available
+// to one PU: the largest cache above it divided by the number of PUs below
+// that cache.
+func cacheShare(topo *topology.Topology, pu *topology.Object) int64 {
+	var best int64
+	for cur := pu.Parent; cur != nil; cur = cur.Parent {
+		if cur.Kind.IsCache() && cur.Attr.CacheSize > 0 {
+			share := cur.Attr.CacheSize / int64(countPUs(cur))
+			if share > best {
+				best = share
+			}
+		}
+	}
+	return best
+}
+
+func countPUs(o *topology.Object) int {
+	if o.Kind == topology.PU {
+		return 1
+	}
+	n := 0
+	for _, c := range o.Children {
+		n += countPUs(c)
+	}
+	return n
+}
+
+// Topology returns the underlying hardware topology.
+func (m *Machine) Topology() *topology.Topology { return m.topo }
+
+// Config returns the effective microarchitectural constants.
+func (m *Machine) Config() Config { return m.cfg }
+
+// ClockHz returns the simulated core frequency.
+func (m *Machine) ClockHz() float64 { return m.clockHz }
+
+// NodeOfPU returns the NUMA node index local to the given PU.
+func (m *Machine) NodeOfPU(pu int) int { return m.nodeOf[pu] }
+
+// SetAccessors declares the static contention degree of a memory node: the
+// number of execution streams that hit it concurrently in steady state. The
+// node's bandwidth is shared equally among them. Placement code calls this
+// once the task layout is known; the default is 1 (no contention).
+func (m *Machine) SetAccessors(node, count int) {
+	if count < 1 {
+		count = 1
+	}
+	m.mu.Lock()
+	m.accessors[node] = count
+	m.mu.Unlock()
+}
+
+// Accessors returns the contention degree of a node.
+func (m *Machine) Accessors(node int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.accessors[node]
+}
+
+// ResetAccessors restores every node to contention degree 1 and clears the
+// remote-stream count.
+func (m *Machine) ResetAccessors() {
+	m.mu.Lock()
+	for i := range m.accessors {
+		m.accessors[i] = 1
+	}
+	m.remoteStreams = 0
+	m.mu.Unlock()
+}
+
+// SetRemoteStreams declares how many memory streams cross the inter-socket
+// fabric in steady state; each remote access is additionally capped by an
+// equal share of Config.InterconnectBandwidth. Placement code derives this
+// from the task layout; 0 disables the cap.
+func (m *Machine) SetRemoteStreams(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.mu.Lock()
+	m.remoteStreams = n
+	m.mu.Unlock()
+}
+
+// RemoteStreams returns the declared fabric contention degree.
+func (m *Machine) RemoteStreams() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.remoteStreams
+}
+
+// effectiveBandwidth returns the bytes/second a stream on pu can sustain
+// from the given node: the node's bandwidth divided by its contention
+// degree; remote streams are further capped by the hop-degraded link
+// bandwidth and by their share of the interconnect fabric.
+func (m *Machine) effectiveBandwidth(pu, node int) float64 {
+	nodeObj := m.topo.NUMANodes()[node]
+	m.mu.Lock()
+	acc := m.accessors[node]
+	remote := m.remoteStreams
+	m.mu.Unlock()
+	bw := nodeObj.Attr.BandwidthBytesPerSec / float64(acc)
+	if m.nodeOf[pu] == node {
+		return bw
+	}
+	if link := m.topo.BandwidthBytesPerSec(m.topo.PU(pu), nodeObj); link < bw {
+		bw = link
+	}
+	if remote > 0 {
+		if share := m.cfg.InterconnectBandwidth / float64(remote); share < bw {
+			bw = share
+		}
+	}
+	return bw
+}
+
+// memLatencyCycles returns the access latency from a PU to a node.
+func (m *Machine) memLatencyCycles(pu, node int) float64 {
+	local := m.topo.NUMANodes()[m.nodeOf[pu]]
+	target := m.topo.NUMANodes()[node]
+	base := target.Attr.LatencyCycles
+	if local == target {
+		return base
+	}
+	hops := m.topo.HopDistance(local, target)
+	return base * (1 + float64(hops)/2)
+}
+
+// memCostCycles prices moving the given number of bytes between a PU and a
+// memory node: one latency plus the streaming time at effective bandwidth.
+func (m *Machine) memCostCycles(pu, node int, bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	bw := m.effectiveBandwidth(pu, node)
+	if bw <= 0 {
+		return m.memLatencyCycles(pu, node)
+	}
+	bytesPerCycle := bw / m.clockHz
+	return m.memLatencyCycles(pu, node) + bytes/bytesPerCycle
+}
+
+// TransferCost prices handing bytes produced on fromPU to a consumer on
+// toPU, the cost the ORWL runtime charges when a lock moves between tasks:
+//
+//   - same PU: free (data already in the local cache);
+//   - PUs under a shared cache: that cache's latency plus on-chip bandwidth;
+//   - same NUMA node: one memory round through the local node;
+//   - remote: one memory round priced at the remote distance.
+func (m *Machine) TransferCost(fromPU, toPU int, bytes float64) float64 {
+	if fromPU == toPU {
+		return 0
+	}
+	if fromPU < 0 || toPU < 0 { // unbound end: price as a remote-ish access
+		node := 0
+		if toPU >= 0 {
+			node = m.nodeOf[toPU]
+		} else if fromPU >= 0 {
+			node = m.nodeOf[fromPU]
+		}
+		pu := toPU
+		if pu < 0 {
+			pu = 0
+		}
+		return m.memCostCycles(pu, node, bytes)
+	}
+	a, b := m.topo.PU(fromPU), m.topo.PU(toPU)
+	if c := m.topo.SharedCache(a, b); c != nil {
+		return c.Attr.LatencyCycles + bytes/m.cfg.CacheBandwidthBytesPerCycle
+	}
+	// The producer's data sits in (or near) the producer's node; the
+	// consumer streams it from there.
+	return m.memCostCycles(toPU, m.nodeOf[fromPU], bytes)
+}
+
+// MissFactor returns the fraction of a working set that must be re-streamed
+// from memory on every sweep, given the PU's share of the last-level cache:
+// 1 when the set does not fit at all, decreasing linearly to
+// MinCacheMissFactor when it fits entirely.
+func (m *Machine) MissFactor(pu int, workingSet int64) float64 {
+	share := m.l3Share[pu]
+	if share <= 0 || workingSet <= 0 {
+		return 1
+	}
+	ratio := float64(workingSet) / float64(share)
+	if ratio >= 1 {
+		return 1
+	}
+	f := m.cfg.MinCacheMissFactor + (1-m.cfg.MinCacheMissFactor)*ratio
+	return f
+}
+
+// CyclesToSeconds converts virtual cycles to simulated seconds.
+func (m *Machine) CyclesToSeconds(cycles float64) float64 {
+	return cycles / m.clockHz
+}
+
+// bindPU registers a bound Proc on a PU (for SMT compute inflation).
+func (m *Machine) bindPU(pu, delta int) {
+	m.mu.Lock()
+	m.boundPerPU[pu] += delta
+	m.mu.Unlock()
+}
+
+// computeInflation returns the compute-cost factor for a PU:
+// SMTComputeInflation when at least two distinct PUs of the PU's core are
+// occupied by bound Procs (hyperthread resource sharing), 1 otherwise.
+func (m *Machine) computeInflation(pu int) float64 {
+	if pu < 0 {
+		return 1
+	}
+	m.mu.Lock()
+	occupied := 0
+	for _, p := range m.pusOfCore[m.coreOf[pu]] {
+		if m.boundPerPU[p] > 0 {
+			occupied++
+		}
+	}
+	m.mu.Unlock()
+	if occupied >= 2 {
+		return m.cfg.SMTComputeInflation
+	}
+	return 1
+}

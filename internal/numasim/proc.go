@@ -1,0 +1,243 @@
+package numasim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Proc is a simulated execution context (one software thread) with a virtual
+// clock in CPU cycles. A Proc is either bound to a fixed PU — the effect of
+// the paper's placement module — or unbound, in which case a seeded,
+// simulated OS scheduler assigns it a PU and may migrate it whenever the
+// workload reaches a scheduling point (Reschedule).
+//
+// A Proc is not safe for concurrent use: it belongs to the single goroutine
+// that drives its task. Cross-Proc interactions (lock handoffs) go through
+// AdvanceTo with times published under external synchronization.
+type Proc struct {
+	m *Machine
+
+	mu    sync.Mutex
+	pu    int  // current PU, -1 if not yet scheduled
+	bound bool // placement fixed by the mapping module
+	cold  bool // caches invalidated by a migration
+	clock float64
+	rng   *rand.Rand
+	name  string
+	stats ProcStats
+}
+
+// ProcStats accumulates per-Proc accounting, exposed for tests and traces.
+type ProcStats struct {
+	ComputeCycles  float64
+	MemoryCycles   float64
+	TransferCycles float64
+	WaitCycles     float64
+	Migrations     int
+	BytesMoved     float64
+}
+
+// NewProc creates a Proc bound to the given PU. Bound Procs never migrate;
+// their core occupancy participates in the SMT compute-inflation model.
+func (m *Machine) NewProc(name string, pu int) (*Proc, error) {
+	if pu < 0 || pu >= m.topo.NumPUs() {
+		return nil, fmt.Errorf("numasim: PU %d out of range [0,%d)", pu, m.topo.NumPUs())
+	}
+	m.bindPU(pu, +1)
+	return &Proc{m: m, pu: pu, bound: true, name: name}, nil
+}
+
+// NewUnboundProc creates a Proc managed by the simulated OS scheduler: it
+// starts on a seed-determined PU and migrates to a new uniformly random PU
+// at every Reschedule call, modelling an affinity-blind runtime. The seed
+// makes runs reproducible.
+func (m *Machine) NewUnboundProc(name string, seed int64) *Proc {
+	p := &Proc{m: m, pu: -1, bound: false, name: name, rng: rand.New(rand.NewSource(seed))}
+	p.pu = p.rng.Intn(m.topo.NumPUs())
+	return p
+}
+
+// Name returns the Proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// PU returns the PU the Proc currently runs on.
+func (p *Proc) PU() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pu
+}
+
+// Bound reports whether the Proc was pinned by the placement module.
+func (p *Proc) Bound() bool { return p.bound }
+
+// Clock returns the Proc's virtual time in cycles.
+func (p *Proc) Clock() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clock
+}
+
+// Seconds returns the Proc's virtual time in simulated seconds.
+func (p *Proc) Seconds() float64 { return p.m.CyclesToSeconds(p.Clock()) }
+
+// Stats returns a copy of the Proc's accounting counters.
+func (p *Proc) Stats() ProcStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Compute charges the given number of floating-point operations.
+func (p *Proc) Compute(flops float64) {
+	if flops <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := flops / p.m.cfg.FlopsPerCycle * p.m.computeInflation(p.pu)
+	p.clock += c
+	p.stats.ComputeCycles += c
+}
+
+// ComputeCycles charges raw cycles (for costs already expressed in cycles).
+func (p *Proc) ComputeCycles(cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clock += cycles
+	p.stats.ComputeCycles += cycles
+}
+
+// MemRead charges the cost of streaming the given number of bytes of the
+// region into the Proc. A cold Proc (just migrated) always pays the full
+// memory cost even for data it had cached before.
+func (p *Proc) MemRead(r *Region, bytes float64) {
+	p.memAccess(r, bytes)
+}
+
+// MemWrite charges the cost of writing bytes to the region. The model
+// prices reads and writes identically (write-allocate caches move the same
+// lines both ways).
+func (p *Proc) MemWrite(r *Region, bytes float64) {
+	p.memAccess(r, bytes)
+}
+
+// SweepWorkingSet charges one full sweep over a working set of the region:
+// bytes scaled by the PU's cache miss factor, so sets that fit in the
+// Proc's cache share cost only their escaping fraction. A cold Proc pays
+// the full traffic once and becomes warm.
+func (p *Proc) SweepWorkingSet(r *Region, workingSet int64) {
+	p.mu.Lock()
+	factor := p.m.MissFactor(p.pu, workingSet)
+	if p.cold {
+		factor = 1
+		p.cold = false
+	}
+	p.mu.Unlock()
+	p.memAccess(r, float64(workingSet)*factor)
+}
+
+func (p *Proc) memAccess(r *Region, bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	node := r.touch(p.pu)
+	var c float64
+	if node < 0 { // interleaved: average the cost over all nodes
+		n := p.m.topo.NumNUMANodes()
+		per := bytes / float64(n)
+		for i := 0; i < n; i++ {
+			c += p.m.memCostCycles(p.pu, i, per)
+		}
+	} else {
+		c = p.m.memCostCycles(p.pu, node, bytes)
+	}
+	p.clock += c
+	p.stats.MemoryCycles += c
+	p.stats.BytesMoved += bytes
+}
+
+// Touch resolves a first-touch region's home to this Proc's node without
+// charging any cost (the initialization loop's traffic is accounted by the
+// caller if it matters).
+func (p *Proc) Touch(r *Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r.touch(p.pu)
+}
+
+// AdvanceTo moves the Proc's clock forward to at least t cycles, recording
+// the difference as wait time. It never moves the clock backwards. Used for
+// lock grants: the new holder cannot proceed before the grant time.
+func (p *Proc) AdvanceTo(t float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t > p.clock {
+		p.stats.WaitCycles += t - p.clock
+		p.clock = t
+	}
+}
+
+// ChargeTransfer adds a transfer cost (computed by Machine.TransferCost) to
+// the Proc's clock.
+func (p *Proc) ChargeTransfer(cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clock += cycles
+	p.stats.TransferCycles += cycles
+}
+
+// Reschedule is a scheduling point: a bound Proc ignores it; an unbound Proc
+// is migrated to a new uniformly random PU with the given probability,
+// paying the migration penalty and losing cache warmth. The paper's NoBind
+// and OpenMP configurations call this at iteration boundaries.
+func (p *Proc) Reschedule(migrationProbability float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.bound || p.rng == nil {
+		return
+	}
+	if p.rng.Float64() >= migrationProbability {
+		return
+	}
+	newPU := p.rng.Intn(p.m.topo.NumPUs())
+	if newPU == p.pu {
+		return
+	}
+	p.pu = newPU
+	p.cold = true
+	p.clock += p.m.cfg.MigrationPenaltyCycles
+	p.stats.Migrations++
+}
+
+// Release unbinds a bound Proc from its core's occupancy accounting. Call
+// when the task exits; required only when Procs are created and destroyed
+// repeatedly on one Machine.
+func (p *Proc) Release() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.bound {
+		p.m.bindPU(p.pu, -1)
+		p.bound = false
+	}
+}
+
+// Makespan returns the maximum clock, in cycles, over the given Procs: the
+// virtual completion time of the parallel phase they executed.
+func Makespan(procs []*Proc) float64 {
+	var mx float64
+	for _, p := range procs {
+		if c := p.Clock(); c > mx {
+			mx = c
+		}
+	}
+	return mx
+}

@@ -1,0 +1,66 @@
+package omp
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/numasim"
+)
+
+// Jacobi runs the two-buffer stencil with a parallel-for over the interior
+// rows, the "OpenMP implementation of equivalent abstraction" from the
+// paper's evaluation. The numeric result is identical to
+// kernels.RunJacobi; tests assert it bit for bit.
+//
+// Cost model (when the team has a machine): the solution and coefficient
+// arrays live in a single region placed by the init policy; each row sweep
+// charges the kernel's per-cell flops and streams the row's working set
+// from the region's home.
+func Jacobi(t *Team, g *kernels.Grid, cell kernels.CellFunc, costs kernels.Costs, iters int, sched Schedule, chunk int, region *numasim.Region) *kernels.Grid {
+	cur := g.Clone()
+	next := g.Clone()
+	cols := g.Cols
+	for it := 0; it < iters; it++ {
+		// Boundary rows are fixed; copy once per iteration like the
+		// sequential reference.
+		copy(next.ZA[:cols], cur.ZA[:cols])
+		copy(next.ZA[(g.Rows-1)*cols:], cur.ZA[(g.Rows-1)*cols:])
+		t.ParallelFor(1, g.Rows-1, chunk, sched, func(lo, hi, tid int) {
+			for k := lo; k < hi; k++ {
+				row := k * cols
+				next.ZA[row] = cur.ZA[row]
+				next.ZA[row+cols-1] = cur.ZA[row+cols-1]
+				for j := 1; j < cols-1; j++ {
+					i := row + j
+					next.ZA[i] = cell(cur.ZA[i], cur.ZA[i-cols], cur.ZA[i+cols],
+						cur.ZA[i+1], cur.ZA[i-1], k, j)
+				}
+			}
+			chargeRows(t, tid, lo, hi, cols, costs, region)
+		})
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// JacobiCostOnly charges the costs of Jacobi without touching any data:
+// the paper-scale 16384×16384 runs. rows and cols describe the full grid.
+func JacobiCostOnly(t *Team, rows, cols int, costs kernels.Costs, iters int, sched Schedule, chunk int, region *numasim.Region) {
+	for it := 0; it < iters; it++ {
+		t.ParallelFor(1, rows-1, chunk, sched, func(lo, hi, tid int) {
+			chargeRows(t, tid, lo, hi, cols, costs, region)
+		})
+	}
+}
+
+// chargeRows prices the sweep of rows [lo,hi) on thread tid.
+func chargeRows(t *Team, tid, lo, hi, cols int, costs kernels.Costs, region *numasim.Region) {
+	p := t.Proc(tid)
+	if p == nil || region == nil {
+		return
+	}
+	cells := float64((hi - lo) * cols)
+	p.Compute(costs.FlopsPerCell * cells)
+	// Row sweeps never fit a reusable working set across iterations at the
+	// sizes we study (each thread's row span changes as threads migrate and
+	// chunks move), so the traffic is charged in full.
+	p.MemRead(region, costs.BytesPerCell*cells)
+}

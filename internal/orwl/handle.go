@@ -1,0 +1,240 @@
+package orwl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HandleState is the lifecycle state of a handle.
+type HandleState int
+
+const (
+	// Idle: no request queued.
+	Idle HandleState = iota
+	// Requested: a request is queued but not yet acquired by the task.
+	Requested
+	// Acquired: the task holds the lock and may access the data.
+	Acquired
+)
+
+// String names the state.
+func (s HandleState) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Requested:
+		return "requested"
+	case Acquired:
+		return "acquired"
+	default:
+		return fmt.Sprintf("HandleState(%d)", int(s))
+	}
+}
+
+// Handle binds a task to a location with an access mode. All methods must
+// be called from the task's goroutine (handles are not shared between
+// tasks); the state field is nevertheless mutex-protected so that
+// diagnostics can inspect handles concurrently.
+type Handle struct {
+	task *Task
+	loc  *Location
+	mode Mode
+	// vol is the data volume, in bytes, that one iteration of the task
+	// moves through this handle; it feeds both the affinity matrix and the
+	// virtual-time transfer costs. Defaults to the location size.
+	vol float64
+	// rank orders the initial canonical request insertion: lower ranks are
+	// inserted first on each location. It lets iterative applications pick
+	// which side of a producer/consumer pair starts the cycle.
+	rank int
+	// idx is the creation index within the task, the canonical tiebreaker.
+	idx int
+
+	mu    sync.Mutex
+	state HandleState
+	req   *request
+}
+
+// Location returns the location the handle is bound to.
+func (h *Handle) Location() *Location { return h.loc }
+
+// Mode returns the handle's access mode.
+func (h *Handle) Mode() Mode { return h.mode }
+
+// State returns the handle's lifecycle state.
+func (h *Handle) State() HandleState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// Volume returns the per-iteration data volume attributed to the handle.
+func (h *Handle) Volume() float64 { return h.vol }
+
+// Request enqueues a lock request. The runtime performs the initial
+// canonical insertion itself during Run; tasks call Request directly only
+// for ad-hoc (non-iterative) protocols.
+func (h *Handle) Request() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state != Idle {
+		return fmt.Errorf("orwl: Request on %s handle for %q in state %v", h.mode, h.loc.name, h.state)
+	}
+	h.req = newRequest(h)
+	h.state = Requested
+	h.loc.enqueue(h.req)
+	return nil
+}
+
+// Acquire blocks until the queued request is granted. On a runtime with an
+// attached machine it also advances the task's virtual clock to the grant
+// time and charges the cost of moving the handle's data volume from
+// wherever the previous holder released it.
+func (h *Handle) Acquire() error {
+	h.mu.Lock()
+	if h.state == Acquired {
+		h.mu.Unlock()
+		return fmt.Errorf("orwl: Acquire on already-acquired handle for %q", h.loc.name)
+	}
+	if h.state != Requested {
+		h.mu.Unlock()
+		return fmt.Errorf("orwl: Acquire without Request on %q", h.loc.name)
+	}
+	req := h.req
+	h.mu.Unlock()
+
+	<-req.ready
+
+	h.mu.Lock()
+	h.state = Acquired
+	h.mu.Unlock()
+
+	if req.grantTask >= 0 && req.grantTask != h.task.id {
+		h.task.rt.recordComm(req.grantTask, h.task.id, h.vol)
+	}
+	if p := h.task.proc; p != nil {
+		p.AdvanceTo(req.grantClock)
+		if req.fromMemory {
+			if h.loc.region != nil {
+				p.MemRead(h.loc.region, h.vol)
+			}
+		} else {
+			cost := h.task.rt.mach.TransferCost(req.grantPU, p.PU(), h.vol)
+			p.ChargeTransfer(cost)
+		}
+		h.task.chargeControlEvent()
+	}
+	h.task.rt.trace(h.task, "acquire", h.loc)
+	return nil
+}
+
+// TryAcquire is the non-blocking variant of Acquire (orwl_test in the C
+// library): it reports whether the queued request has been granted, and
+// completes the acquisition exactly like Acquire when it has. A handle in
+// any state other than Requested returns an error.
+func (h *Handle) TryAcquire() (bool, error) {
+	h.mu.Lock()
+	if h.state == Acquired {
+		h.mu.Unlock()
+		return false, fmt.Errorf("orwl: TryAcquire on already-acquired handle for %q", h.loc.name)
+	}
+	if h.state != Requested {
+		h.mu.Unlock()
+		return false, fmt.Errorf("orwl: TryAcquire without Request on %q", h.loc.name)
+	}
+	req := h.req
+	h.mu.Unlock()
+
+	select {
+	case <-req.ready:
+	default:
+		return false, nil
+	}
+	return true, h.Acquire()
+}
+
+// AcquireRequest is the convenience composition Request-then-Acquire.
+func (h *Handle) AcquireRequest() error {
+	if err := h.Request(); err != nil {
+		return err
+	}
+	return h.Acquire()
+}
+
+// Release gives the lock up and leaves the queue. The data becomes
+// available to the next request(s) in FIFO order.
+func (h *Handle) Release() error {
+	return h.release(nil)
+}
+
+// ReleaseAndRequest atomically enqueues a fresh request and then releases
+// the held lock: the ORWL iterative primitive (orwl_next). Because the new
+// request is inserted while the old one is still held, every conflicting
+// task that participates in the steady-state cycle is already queued, so
+// the task keeps its position in the periodic schedule.
+func (h *Handle) ReleaseAndRequest() error {
+	return h.release(newRequest(h))
+}
+
+func (h *Handle) release(reinsert *request) error {
+	h.mu.Lock()
+	if h.state != Acquired {
+		h.mu.Unlock()
+		return fmt.Errorf("orwl: Release on non-acquired handle for %q (state %v)", h.loc.name, h.state)
+	}
+	old := h.req
+	h.mu.Unlock()
+
+	clock, pu := 0.0, -2
+	if p := h.task.proc; p != nil {
+		clock, pu = p.Clock(), p.PU()
+	}
+	if err := h.loc.remove(old, reinsert, clock, pu, h.task.id); err != nil {
+		return err
+	}
+
+	h.mu.Lock()
+	if reinsert != nil {
+		h.req = reinsert
+		h.state = Requested
+	} else {
+		h.req = nil
+		h.state = Idle
+	}
+	h.mu.Unlock()
+	h.task.rt.trace(h.task, "release", h.loc)
+	return nil
+}
+
+// Data returns the payload of the location. It fails unless the handle is
+// currently acquired: accessing a location outside the critical section is
+// a programming error that the C ORWL library turns into undefined
+// behaviour and that we surface as an error instead.
+func (h *Handle) Data() (interface{}, error) {
+	h.mu.Lock()
+	st := h.state
+	h.mu.Unlock()
+	if st != Acquired {
+		return nil, fmt.Errorf("orwl: Data access on %q outside the critical section (state %v)", h.loc.name, st)
+	}
+	h.loc.mu.Lock()
+	defer h.loc.mu.Unlock()
+	return h.loc.data, nil
+}
+
+// Float64s returns the payload as a []float64, the common case for the
+// numeric kernels in this repository.
+func (h *Handle) Float64s() ([]float64, error) {
+	v, err := h.Data()
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, nil
+	}
+	f, ok := v.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("orwl: payload of %q is %T, not []float64", h.loc.name, v)
+	}
+	return f, nil
+}

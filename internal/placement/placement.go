@@ -1,0 +1,297 @@
+// Package placement is the paper's primary contribution: the topology-aware
+// placement module of the ORWL runtime. It extracts the application's
+// affinity matrix from the runtime, obtains the machine topology (the HWLOC
+// role), computes a thread→core binding with the TreeMatch-based
+// Algorithm 1 — including the oversubscription and control-thread
+// adaptations — and applies the binding to the runtime.
+//
+// Baseline policies (compact, scatter, round-robin, random, no-bind) are
+// provided for the comparisons and ablations in the evaluation.
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/numasim"
+	"repro/internal/orwl"
+	"repro/internal/topology"
+	"repro/internal/treematch"
+)
+
+// Assignment is a computed placement for the tasks of a program.
+type Assignment struct {
+	// Policy is the name of the policy that produced the assignment.
+	Policy string
+	// TaskPU maps each task to the PU its computation thread is bound to;
+	// -1 leaves the task to the OS scheduler.
+	TaskPU []int
+	// ControlPU maps each task to the PU of its control thread; -1 leaves
+	// it unmapped.
+	ControlPU []int
+	// Strategy records how control threads were handled (TreeMatch only;
+	// baselines always report ControlUnmapped).
+	Strategy treematch.ControlStrategy
+	// VirtualArity is >1 when the tasks oversubscribe the cores.
+	VirtualArity int
+}
+
+// Policy computes an assignment of program tasks to the machine, given the
+// program's affinity matrix.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Assign computes the placement of m.Order() tasks on the machine.
+	Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment, error)
+}
+
+// firstPU returns the OS index of the first PU of the core with the given
+// level index.
+func firstPU(topo *topology.Topology, core int) int {
+	return topo.Cores()[core].Children[0].OSIndex
+}
+
+// secondPU returns the second hyperthread of a core, or -1 without SMT.
+func secondPU(topo *topology.Topology, core int) int {
+	c := topo.Cores()[core]
+	if len(c.Children) < 2 {
+		return -1
+	}
+	return c.Children[1].OSIndex
+}
+
+// TreeMatch is the paper's policy: Algorithm 1 on the core-level topology
+// tree, with the distribution requirement ("distribute threads over NUMA
+// nodes") enabled by default.
+type TreeMatch struct {
+	// Options tunes the underlying grouping heuristic.
+	Options treematch.Options
+	// NoDistribute disables the tree-restriction distribution step, for
+	// the ablation that isolates its contribution.
+	NoDistribute bool
+}
+
+// Name implements Policy.
+func (TreeMatch) Name() string { return "treematch" }
+
+// Assign implements Policy: it builds the abstract tree whose leaves are
+// the physical cores, runs Algorithm 1 (with the control-thread and
+// oversubscription adaptations), and translates core slots to PUs:
+// computation threads go to each core's first hyperthread, and control
+// threads to the second one when the strategy is hyperthread pairing.
+func (p TreeMatch) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment, error) {
+	if mach == nil {
+		return nil, fmt.Errorf("placement: treematch requires a machine")
+	}
+	topo := mach.Topology()
+	tree, err := treematch.FromTopology(topo, topology.Core)
+	if err != nil {
+		return nil, err
+	}
+	smtWays := 1
+	if topo.SMT() {
+		smtWays = len(topo.Cores()[0].Children)
+	}
+	opts := p.Options
+	opts.Distribute = !p.NoDistribute
+	res, err := treematch.Map(treematch.Target{Tree: tree, SMTWays: smtWays}, m, opts)
+	if err != nil {
+		return nil, err
+	}
+	a := &Assignment{
+		Policy:       p.Name(),
+		TaskPU:       make([]int, m.Order()),
+		ControlPU:    make([]int, m.Order()),
+		Strategy:     res.Strategy,
+		VirtualArity: res.VirtualArity,
+	}
+	for i := 0; i < m.Order(); i++ {
+		a.TaskPU[i] = firstPU(topo, res.Assignment[i])
+		switch {
+		case res.Control[i] < 0:
+			a.ControlPU[i] = -1
+		case res.Strategy == treematch.ControlHyperthread:
+			a.ControlPU[i] = secondPU(topo, res.Control[i])
+		default:
+			a.ControlPU[i] = firstPU(topo, res.Control[i])
+		}
+	}
+	return a, nil
+}
+
+// Compact packs task i onto core i modulo the core count, filling sockets
+// in order. Control threads are left to the OS.
+type Compact struct{}
+
+// Name implements Policy.
+func (Compact) Name() string { return "compact" }
+
+// Assign implements Policy.
+func (Compact) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment, error) {
+	if mach == nil {
+		return nil, fmt.Errorf("placement: compact requires a machine")
+	}
+	topo := mach.Topology()
+	a := unboundControls(m.Order(), "compact")
+	for i := range a.TaskPU {
+		a.TaskPU[i] = firstPU(topo, i%topo.NumCores())
+	}
+	a.VirtualArity = (m.Order() + topo.NumCores() - 1) / topo.NumCores()
+	return a, nil
+}
+
+// Scatter strides tasks across the sockets round-robin: consecutive tasks
+// land on different sockets — the worst reasonable layout for a stencil.
+type Scatter struct{}
+
+// Name implements Policy.
+func (Scatter) Name() string { return "scatter" }
+
+// Assign implements Policy.
+func (Scatter) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment, error) {
+	if mach == nil {
+		return nil, fmt.Errorf("placement: scatter requires a machine")
+	}
+	topo := mach.Topology()
+	cores := topo.NumCores()
+	sockets := len(topo.Level(topo.DepthOf(topology.Package)))
+	if sockets == 0 {
+		sockets = 1
+	}
+	perSocket := cores / sockets
+	a := unboundControls(m.Order(), "scatter")
+	for i := range a.TaskPU {
+		k := i % cores
+		socket := k % sockets
+		within := (k / sockets) % perSocket
+		a.TaskPU[i] = firstPU(topo, socket*perSocket+within)
+	}
+	a.VirtualArity = (m.Order() + cores - 1) / cores
+	return a, nil
+}
+
+// Random binds tasks to a seed-determined random permutation of the cores.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// Assign implements Policy.
+func (p Random) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment, error) {
+	if mach == nil {
+		return nil, fmt.Errorf("placement: random requires a machine")
+	}
+	topo := mach.Topology()
+	rng := rand.New(rand.NewSource(p.Seed))
+	perm := rng.Perm(topo.NumCores())
+	a := unboundControls(m.Order(), "random")
+	for i := range a.TaskPU {
+		a.TaskPU[i] = firstPU(topo, perm[i%len(perm)])
+	}
+	a.VirtualArity = (m.Order() + len(perm) - 1) / len(perm)
+	return a, nil
+}
+
+// NoBind leaves every thread to the OS scheduler: the paper's "ORWL
+// NoBind" configuration.
+type NoBind struct{}
+
+// Name implements Policy.
+func (NoBind) Name() string { return "nobind" }
+
+// Assign implements Policy.
+func (NoBind) Assign(_ *numasim.Machine, m *comm.Matrix) (*Assignment, error) {
+	a := unboundControls(m.Order(), "nobind")
+	for i := range a.TaskPU {
+		a.TaskPU[i] = -1
+	}
+	a.VirtualArity = 1
+	return a, nil
+}
+
+// unboundControls builds an assignment skeleton with every control thread
+// unmapped.
+func unboundControls(order int, policy string) *Assignment {
+	a := &Assignment{
+		Policy:       policy,
+		TaskPU:       make([]int, order),
+		ControlPU:    make([]int, order),
+		Strategy:     treematch.ControlUnmapped,
+		VirtualArity: 1,
+	}
+	for i := range a.ControlPU {
+		a.ControlPU[i] = -1
+	}
+	return a
+}
+
+// Apply binds the runtime's tasks (and control threads) according to the
+// assignment. The assignment order must match the runtime's task order —
+// which it does when the matrix came from rt.CommMatrix().
+func Apply(rt *orwl.Runtime, a *Assignment) error {
+	tasks := rt.Tasks()
+	if len(tasks) != len(a.TaskPU) {
+		return fmt.Errorf("placement: assignment order %d, runtime has %d tasks", len(a.TaskPU), len(tasks))
+	}
+	for i, t := range tasks {
+		if err := rt.Bind(t, a.TaskPU[i]); err != nil {
+			return err
+		}
+		if err := rt.BindControl(t, a.ControlPU[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Place runs the paper's full pipeline on an ORWL program: extract the
+// affinity matrix from the runtime, compute the placement with the policy,
+// and apply it. It returns the assignment for inspection.
+func Place(rt *orwl.Runtime, pol Policy) (*Assignment, error) {
+	a, err := pol.Assign(rt.Machine(), rt.CommMatrix())
+	if err != nil {
+		return nil, err
+	}
+	if err := Apply(rt, a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// SetContention derives the static contention model of the machine from an
+// assignment. heavy[i] marks the tasks with a significant per-iteration
+// working set (for LK23, the main operations; frontier ops move only
+// strips); nil means all tasks are heavy.
+//
+// Every memory node is charged the machine-wide average pressure — total
+// heavy streams divided by the node count — because the data of an
+// iterative block workload is spread across the nodes by construction
+// (bound: one block home per task's node; unbound: uniform roaming first
+// touch). Unbound heavy tasks additionally cross the inter-socket fabric
+// with probability (nodes-1)/nodes, which sets the remote-stream count;
+// bound tasks stream locally and add none.
+func SetContention(mach *numasim.Machine, a *Assignment, heavy []bool) {
+	nodes := mach.Topology().NumNUMANodes()
+	total, unbound := 0, 0
+	for i, pu := range a.TaskPU {
+		if heavy != nil && i < len(heavy) && !heavy[i] {
+			continue
+		}
+		total++
+		if pu < 0 {
+			unbound++
+		}
+	}
+	perNode := (total + nodes - 1) / nodes
+	for n := 0; n < nodes; n++ {
+		mach.SetAccessors(n, perNode)
+	}
+	remote := 0
+	if nodes > 1 {
+		remote = unbound * (nodes - 1) / nodes
+	}
+	mach.SetRemoteStreams(remote)
+}

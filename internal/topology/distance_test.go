@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHopMatrixProperties(t *testing.T) {
+	for _, spec := range []string{
+		"pack:2 core:2 pu:2",
+		"pack:4 l3:1 core:4 pu:1",
+		"group:2 pack:2 numa:2 core:2 pu:1",
+	} {
+		top := mustSpec(t, spec)
+		m := top.HopMatrix()
+		n := len(m)
+		for i := 0; i < n; i++ {
+			if m[i][i] != 0 {
+				t.Errorf("%s: diagonal (%d,%d) = %d, want 0", spec, i, i, m[i][i])
+			}
+			for j := 0; j < n; j++ {
+				if m[i][j] != m[j][i] {
+					t.Errorf("%s: asymmetric at (%d,%d): %d vs %d", spec, i, j, m[i][j], m[j][i])
+				}
+				if i != j && m[i][j] <= 0 {
+					t.Errorf("%s: non-positive off-diagonal at (%d,%d): %d", spec, i, j, m[i][j])
+				}
+			}
+		}
+		if err := top.CheckUltrametric(); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+	}
+}
+
+// TestHopMatrixUltrametricQuick drives CheckUltrametric over randomly drawn
+// topology shapes as a property-based test.
+func TestHopMatrixUltrametricQuick(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		// Keep shapes small so the O(n^3) check stays fast.
+		packs := int(a%3) + 1
+		cores := int(b%3) + 1
+		pus := int(c%2) + 1
+		top, err := FromSpec(
+			"pack:" + itoa(packs) + " core:" + itoa(cores) + " pu:" + itoa(pus))
+		if err != nil {
+			return false
+		}
+		return top.CheckUltrametric() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestLatencyCycles(t *testing.T) {
+	// Per package: one L3, two L2s, one L1 per L2, one core per L1, 2 PUs
+	// per core, i.e. 4 PUs per package.
+	top := mustSpec(t, "pack:2 l3:1 l2:2 l1:1 core:1 pu:2")
+	def := DefaultAttrs()
+	pus := top.PUs()
+	// Same PU: L1 latency.
+	if got := top.LatencyCycles(pus[0], pus[0]); got != def.L1Latency {
+		t.Errorf("same-PU latency = %v, want %v", got, def.L1Latency)
+	}
+	// Co-hyperthreads share the L1.
+	if got := top.LatencyCycles(pus[0], pus[1]); got != def.L1Latency {
+		t.Errorf("same-core latency = %v, want %v", got, def.L1Latency)
+	}
+	// Different core, same package: innermost shared cache is the L3.
+	if got := top.LatencyCycles(pus[0], pus[2]); got != def.L3Latency {
+		t.Errorf("same-package latency = %v, want L3 %v", got, def.L3Latency)
+	}
+	// Different packages: remote memory, strictly more than local latency.
+	remote := top.LatencyCycles(pus[0], pus[4])
+	if remote <= def.MemLatencyCycles {
+		t.Errorf("remote latency = %v, want > local %v", remote, def.MemLatencyCycles)
+	}
+}
+
+func TestLatencyMatrixMonotoneWithDistance(t *testing.T) {
+	top := PaperMachine()
+	pus := top.PUs()
+	lat := func(i, j int) float64 { return top.LatencyCycles(pus[i], pus[j]) }
+	// Same-socket neighbours must be cheaper than cross-socket ones.
+	if !(lat(0, 1) < lat(0, 8)) {
+		t.Errorf("same-socket latency %v not < cross-socket %v", lat(0, 1), lat(0, 8))
+	}
+	// Remote latencies do not depend on which remote socket (flat SMP tree).
+	if lat(0, 8) != lat(0, 191) {
+		t.Errorf("remote latencies differ on a flat tree: %v vs %v", lat(0, 8), lat(0, 191))
+	}
+}
+
+func TestNUMADistanceMatrix(t *testing.T) {
+	top := mustSpec(t, "pack:4 core:2 pu:1")
+	m := top.NUMADistanceMatrix()
+	if len(m) != 4 {
+		t.Fatalf("matrix order = %d, want 4", len(m))
+	}
+	for i := range m {
+		if m[i][i] != 10 {
+			t.Errorf("local distance (%d,%d) = %d, want 10", i, i, m[i][i])
+		}
+		for j := range m {
+			if i != j && m[i][j] <= 10 {
+				t.Errorf("remote distance (%d,%d) = %d, want > 10", i, j, m[i][j])
+			}
+			if m[i][j] != m[j][i] {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	top := PaperMachine()
+	def := DefaultAttrs()
+	pu0 := top.PU(0)
+	local := top.NUMANodeOf(pu0)
+	remote := top.NUMANodes()[5]
+	if got := top.BandwidthBytesPerSec(pu0, local); got != def.MemBandwidth {
+		t.Errorf("local bandwidth = %v, want %v", got, def.MemBandwidth)
+	}
+	rb := top.BandwidthBytesPerSec(pu0, remote)
+	if rb >= def.MemBandwidth {
+		t.Errorf("remote bandwidth %v not below local %v", rb, def.MemBandwidth)
+	}
+	if rb < def.MemBandwidth/8 {
+		t.Errorf("remote bandwidth %v below the 1/8 floor", rb)
+	}
+	if got := top.BandwidthBytesPerSec(nil, remote); got != 0 {
+		t.Errorf("nil PU bandwidth = %v, want 0", got)
+	}
+}

@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String returns a one-line summary of the topology, e.g.
+// "Machine (24 Package, 24 NUMANode, 192 Core, 192 PU)".
+func (t *Topology) String() string {
+	var parts []string
+	for d := 1; d < t.Depth(); d++ {
+		lv := t.levels[d]
+		parts = append(parts, fmt.Sprintf("%d %v", len(lv), lv[0].Kind))
+	}
+	return "Machine (" + strings.Join(parts, ", ") + ")"
+}
+
+// Render returns a multi-line ASCII rendering of the topology tree in the
+// style of hwloc's lstopo tool. Sibling subtrees that are structurally
+// identical are collapsed ("x24") to keep large machines readable.
+func (t *Topology) Render() string {
+	var b strings.Builder
+	renderObj(&b, t.root, 0)
+	return b.String()
+}
+
+func renderObj(b *strings.Builder, o *Object, indent int) {
+	b.WriteString(strings.Repeat("  ", indent))
+	b.WriteString(describe(o))
+	b.WriteByte('\n')
+	if len(o.Children) == 0 {
+		return
+	}
+	// All levels are homogeneous, so all children render identically except
+	// for indices; render the first child and note the multiplicity.
+	if len(o.Children) > 1 {
+		b.WriteString(strings.Repeat("  ", indent+1))
+		fmt.Fprintf(b, "(x%d identical subtrees, first shown)\n", len(o.Children))
+	}
+	renderObj(b, o.Children[0], indent+1)
+}
+
+// describe renders one object with its salient attributes.
+func describe(o *Object) string {
+	switch {
+	case o.Kind == Machine:
+		if o.Attr.ClockHz > 0 {
+			return fmt.Sprintf("Machine (%.2f GHz)", o.Attr.ClockHz/1e9)
+		}
+		return "Machine"
+	case o.Kind.IsCache():
+		return fmt.Sprintf("%s#%d (%s, %.0f cycles)", o.Kind, o.LevelIndex,
+			formatSize(o.Attr.CacheSize), o.Attr.LatencyCycles)
+	case o.Kind == NUMANode:
+		return fmt.Sprintf("NUMANode#%d (%.1f GB/s, %.0f cycles)", o.LevelIndex,
+			o.Attr.BandwidthBytesPerSec/1e9, o.Attr.LatencyCycles)
+	case o.Kind == PU:
+		return fmt.Sprintf("PU#%d (os=%d)", o.LevelIndex, o.OSIndex)
+	default:
+		return fmt.Sprintf("%s#%d", o.Kind, o.LevelIndex)
+	}
+}
+
+// formatSize renders a byte count with binary units.
+func formatSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

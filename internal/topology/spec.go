@@ -1,0 +1,239 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Defaults describes the physical constants used to attribute a synthetic
+// topology. The zero value is not useful; start from DefaultAttrs().
+type Defaults struct {
+	// ClockHz is the core frequency.
+	ClockHz float64
+	// L1Size, L2Size, L3Size are per-cache capacities in bytes.
+	L1Size, L2Size, L3Size int64
+	// L1Latency, L2Latency, L3Latency are cache access latencies in cycles.
+	L1Latency, L2Latency, L3Latency float64
+	// MemLatencyCycles is the local DRAM access latency in cycles.
+	MemLatencyCycles float64
+	// MemBandwidth is the per-NUMA-node memory bandwidth in bytes/second.
+	MemBandwidth float64
+	// LinkBandwidth is the per-hop interconnect bandwidth in bytes/second.
+	LinkBandwidth float64
+}
+
+// DefaultAttrs returns physical constants plausible for the 2016-era large
+// SMP used in the paper (e.g. a Bull BCS / SGI UV class machine): 2.27 GHz
+// cores, 32 KiB L1, 256 KiB L2, a 24 MiB L3 shared per socket, ~110 ns local
+// memory latency and ~7 GB/s of sustainable per-node memory bandwidth.
+func DefaultAttrs() Defaults {
+	return Defaults{
+		ClockHz:          2.27e9,
+		L1Size:           32 << 10,
+		L2Size:           256 << 10,
+		L3Size:           24 << 20,
+		L1Latency:        4,
+		L2Latency:        12,
+		L3Latency:        40,
+		MemLatencyCycles: 250,
+		MemBandwidth:     7e9,
+		LinkBandwidth:    6e9,
+	}
+}
+
+// specLevel is one parsed "kind:count" token.
+type specLevel struct {
+	kind  Kind
+	count int
+}
+
+var kindTokens = map[string]Kind{
+	"machine": Machine,
+	"group":   Group,
+	"pack":    Package,
+	"socket":  Package,
+	"numa":    NUMANode,
+	"node":    NUMANode,
+	"l3":      L3,
+	"l2":      L2,
+	"l1":      L1,
+	"core":    Core,
+	"pu":      PU,
+}
+
+// FromSpec builds a topology from a synthetic specification string with
+// default physical attributes. See FromSpecAttrs for the grammar.
+func FromSpec(spec string) (*Topology, error) {
+	return FromSpecAttrs(spec, DefaultAttrs())
+}
+
+// FromSpecAttrs builds a topology from a synthetic specification string, in
+// the style of hwloc's synthetic backend. The spec is a whitespace-separated
+// list of "kind:count" tokens ordered from just below the machine root down
+// towards the leaves:
+//
+//	pack:24 core:8 pu:1        the paper's 192-core machine
+//	pack:4 numa:2 l3:1 core:6 pu:2   a deeper, hyperthreaded machine
+//
+// Recognized kinds: group, pack (or socket), numa (or node), l3, l2, l1,
+// core, pu. Kinds must appear in root-to-leaf order and at most once. Two
+// normalizations are applied so that every topology is well formed:
+//
+//   - if no "numa" level is given, a NUMANode level with count 1 is inserted
+//     below the packages (each socket is its own memory node, which is how
+//     the paper's machine is organized), or below the machine when there are
+//     no packages either;
+//   - if no "pu" level is given, a PU level with count 1 is appended (no
+//     hyperthreading).
+//
+// A "core" level is likewise required and inserted (count 1) above the PUs
+// when missing. The machine root itself must not appear in the spec.
+func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
+	fields := strings.Fields(spec)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("topology: empty spec")
+	}
+	var levels []specLevel
+	seen := map[Kind]bool{}
+	for _, f := range fields {
+		parts := strings.SplitN(f, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("topology: token %q is not of the form kind:count", f)
+		}
+		kind, ok := kindTokens[strings.ToLower(parts[0])]
+		if !ok {
+			return nil, fmt.Errorf("topology: unknown object kind %q", parts[0])
+		}
+		if kind == Machine {
+			return nil, fmt.Errorf("topology: the machine root is implicit and must not appear in the spec")
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("topology: invalid count in token %q", f)
+		}
+		if seen[kind] {
+			return nil, fmt.Errorf("topology: kind %v appears twice", kind)
+		}
+		seen[kind] = true
+		levels = append(levels, specLevel{kind, n})
+	}
+	if !sort.SliceIsSorted(levels, func(i, j int) bool { return levels[i].kind < levels[j].kind }) {
+		return nil, fmt.Errorf("topology: kinds must appear in root-to-leaf order (machine, group, pack, numa, l3, l2, l1, core, pu)")
+	}
+	levels = normalize(levels)
+
+	root := &Object{Kind: Machine, Attr: Attr{ClockHz: def.ClockHz}}
+	grow(root, levels, def)
+	t := build(root, canonicalSpec(levels))
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// normalize inserts the implicit numa, core and pu levels documented in
+// FromSpecAttrs.
+func normalize(levels []specLevel) []specLevel {
+	has := func(k Kind) bool {
+		for _, l := range levels {
+			if l.kind == k {
+				return true
+			}
+		}
+		return false
+	}
+	insertAfterKind := func(k Kind, nl specLevel) {
+		pos := 0
+		for i, l := range levels {
+			if l.kind <= k {
+				pos = i + 1
+			}
+		}
+		levels = append(levels[:pos], append([]specLevel{nl}, levels[pos:]...)...)
+	}
+	if !has(NUMANode) {
+		if has(Package) {
+			insertAfterKind(Package, specLevel{NUMANode, 1})
+		} else {
+			insertAfterKind(Group, specLevel{NUMANode, 1}) // right below machine/groups
+		}
+	}
+	if !has(Core) {
+		insertAfterKind(L1, specLevel{Core, 1})
+	}
+	if !has(PU) {
+		levels = append(levels, specLevel{PU, 1})
+	}
+	return levels
+}
+
+// canonicalSpec renders the normalized levels back into a spec string.
+func canonicalSpec(levels []specLevel) string {
+	names := map[Kind]string{
+		Group: "group", Package: "pack", NUMANode: "numa",
+		L3: "l3", L2: "l2", L1: "l1", Core: "core", PU: "pu",
+	}
+	parts := make([]string, len(levels))
+	for i, l := range levels {
+		parts[i] = fmt.Sprintf("%s:%d", names[l.kind], l.count)
+	}
+	return strings.Join(parts, " ")
+}
+
+// grow recursively attaches children for the remaining spec levels.
+func grow(parent *Object, levels []specLevel, def Defaults) {
+	if len(levels) == 0 {
+		return
+	}
+	l := levels[0]
+	for i := 0; i < l.count; i++ {
+		c := &Object{Kind: l.kind, Attr: attrFor(l.kind, def)}
+		parent.Children = append(parent.Children, c)
+		grow(c, levels[1:], def)
+	}
+}
+
+// attrFor returns the default physical attributes for an object kind.
+func attrFor(k Kind, def Defaults) Attr {
+	switch k {
+	case L1:
+		return Attr{CacheSize: def.L1Size, LatencyCycles: def.L1Latency}
+	case L2:
+		return Attr{CacheSize: def.L2Size, LatencyCycles: def.L2Latency}
+	case L3:
+		return Attr{CacheSize: def.L3Size, LatencyCycles: def.L3Latency}
+	case NUMANode:
+		return Attr{
+			LatencyCycles:        def.MemLatencyCycles,
+			BandwidthBytesPerSec: def.MemBandwidth,
+		}
+	case Group:
+		return Attr{BandwidthBytesPerSec: def.LinkBandwidth}
+	default:
+		return Attr{}
+	}
+}
+
+// PaperMachine returns the evaluation machine of the paper: an SMP with 24
+// sockets of 8 cores (192 cores, no hyperthreading), one NUMA node and one
+// shared L3 per socket.
+func PaperMachine() *Topology {
+	t, err := FromSpec("pack:24 l3:1 core:8 pu:1")
+	if err != nil {
+		panic("topology: PaperMachine spec failed to parse: " + err.Error())
+	}
+	return t
+}
+
+// PaperMachineSMT returns the paper's machine with 2-way hyperthreading
+// enabled, the configuration under which the control threads of the ORWL
+// runtime are bound to the co-hyperthread of their computation thread.
+func PaperMachineSMT() *Topology {
+	t, err := FromSpec("pack:24 l3:1 core:8 pu:2")
+	if err != nil {
+		panic("topology: PaperMachineSMT spec failed to parse: " + err.Error())
+	}
+	return t
+}

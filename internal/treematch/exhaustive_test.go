@@ -1,0 +1,106 @@
+package treematch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+)
+
+func TestGroupProcessesOptFindsPlantedPairs(t *testing.T) {
+	// Planted optimum: heavy pairs (0,3), (1,4), (2,5) under light noise.
+	m := comm.New(6)
+	m.AddSym(0, 3, 100)
+	m.AddSym(1, 4, 100)
+	m.AddSym(2, 5, 100)
+	m.AddSym(0, 1, 1)
+	m.AddSym(3, 5, 2)
+	groups := GroupProcessesOpt(m, 2)
+	want := map[[2]int]bool{{0, 3}: true, {1, 4}: true, {2, 5}: true}
+	for _, g := range groups {
+		if len(g) != 2 || !want[[2]int{g[0], g[1]}] {
+			t.Fatalf("optimal groups = %v, want the planted pairs", groups)
+		}
+	}
+	if q := GroupQuality(m, groups); q < 0.98 {
+		t.Errorf("quality = %v, want ~1 (noise only)", q)
+	}
+}
+
+// TestGreedyNearOptimal measures the heuristic against the exhaustive
+// optimum on random instances: the greedy+refine partition must retain at
+// least 85% of the optimal intra-group volume (it usually retains ~100%).
+func TestGreedyNearOptimal(t *testing.T) {
+	f := func(seed int64, aSel uint8) bool {
+		a := []int{2, 3, 4}[int(aSel)%3]
+		p := a * (ExhaustiveLimit / a) // <= ExhaustiveLimit
+		m := comm.Random(p, 0.7, 100, seed)
+		opt := intraVolume(m, GroupProcessesOpt(m, a))
+		heu := intraVolume(m, GroupProcesses(m, a, 2))
+		if opt == 0 {
+			return heu == 0
+		}
+		if heu > opt+1e-9 {
+			return false // "optimal" beaten: the search is broken
+		}
+		return heu >= 0.85*opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(17))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupProcessesOptDegenerateShapes(t *testing.T) {
+	m := comm.Random(6, 0.5, 10, 1)
+	// a == 1: singletons.
+	groups := GroupProcessesOpt(m, 1)
+	if len(groups) != 6 {
+		t.Errorf("a=1 groups = %v", groups)
+	}
+	// a == p: one group.
+	groups = GroupProcessesOpt(m, 6)
+	if len(groups) != 1 || len(groups[0]) != 6 {
+		t.Errorf("a=p groups = %v", groups)
+	}
+}
+
+func TestGroupProcessesOptPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic for non-dividing arity")
+		}
+	}()
+	GroupProcessesOpt(comm.New(5), 2)
+}
+
+func TestGroupQualityBounds(t *testing.T) {
+	m := comm.AllToAll(4, 10)
+	all := [][]int{{0, 1, 2, 3}}
+	if q := GroupQuality(m, all); q != 1 {
+		t.Errorf("single-group quality = %v, want 1", q)
+	}
+	singletons := [][]int{{0}, {1}, {2}, {3}}
+	if q := GroupQuality(m, singletons); q != 0 {
+		t.Errorf("singleton quality = %v, want 0", q)
+	}
+	if q := GroupQuality(comm.New(3), [][]int{{0, 1, 2}}); q != 1 {
+		t.Errorf("zero-volume quality = %v, want 1", q)
+	}
+}
+
+func BenchmarkGroupProcessesGreedy(b *testing.B) {
+	m := comm.Random(ExhaustiveLimit, 0.7, 100, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GroupProcesses(m, 3, 2)
+	}
+}
+
+func BenchmarkGroupProcessesOpt(b *testing.B) {
+	m := comm.Random(ExhaustiveLimit, 0.7, 100, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GroupProcessesOpt(m, 3)
+	}
+}
