@@ -146,6 +146,26 @@ func BenchmarkAblationDistribution(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationAdaptive is ablation A8: one-shot static placement
+// against the epoch-based adaptive engine (and its free-migration oracle)
+// on the phase-shifting and stationary workloads. Reduced scale: the full
+// stationary configuration is already covered by Figure 1, and the
+// phase-shift scenario is scale-independent in what it demonstrates.
+func BenchmarkAblationAdaptive(b *testing.B) {
+	cfg := experiment.Config{Rows: 4096, Cols: 4096, Iters: 10, Cores: 48, Seed: 42}
+	var rows []experiment.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiment.AblationAdaptive(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Seconds, metricUnit(r.Name))
+	}
+}
+
 // BenchmarkTreeMatchFullScale measures the mapping algorithm itself on the
 // paper's full problem: the 1728-operation LK23 affinity matrix onto the
 // 24×8 machine (runs at program launch in the real system, so its cost

@@ -10,6 +10,7 @@
 //	ablate -exp topology    # machine shapes (A5)
 //	ablate -exp distribute  # NUMA distribution (A6)
 //	ablate -exp ompsched    # OpenMP loop schedules (A7)
+//	ablate -exp adaptive    # epoch-based adaptive re-placement (A8)
 //	ablate -full            # paper-scale matrix and iterations
 package main
 
@@ -23,15 +24,20 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, all")
-		full = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations)")
-		seed = flag.Int64("seed", 7, "simulated OS scheduler seed")
+		exp   = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, all")
+		full  = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations, 192 cores; overrides -rows/-cols/-iters/-cores)")
+		seed  = flag.Int64("seed", 7, "simulated OS scheduler seed")
+		rows  = flag.Int("rows", 4096, "matrix rows (reduced scale)")
+		cols  = flag.Int("cols", 4096, "matrix columns (reduced scale)")
+		iters = flag.Int("iters", 10, "iterations (reduced scale)")
+		cores = flag.Int("cores", 48, "number of cores (reduced scale)")
 	)
 	flag.Parse()
 
-	cfg := experiment.Config{Rows: 4096, Cols: 4096, Iters: 10, Cores: 48, Seed: *seed}
-	if *full {
-		cfg = experiment.Config{Seed: *seed}
+	cfg, err := buildConfig(*rows, *cols, *iters, *cores, *seed, *full)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
+		os.Exit(1)
 	}
 
 	type ablation struct {
@@ -49,6 +55,7 @@ func main() {
 		}},
 		{"distribute", "A6: NUMA distribution (cluster + distribute vs cluster only)", experiment.AblationDistribution},
 		{"ompsched", "A7: OpenMP loop schedules vs bound ORWL", experiment.AblationOMPSchedule},
+		{"adaptive", "A8: adaptive re-placement (static vs epoch feedback vs oracle)", experiment.AblationAdaptive},
 	}
 
 	ran := false
@@ -69,4 +76,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ablate: unknown experiment %q\n", *exp)
 		os.Exit(1)
 	}
+}
+
+// buildConfig assembles and validates the ablation configuration from the
+// flag values; -full overrides the scale flags with the paper's setup.
+func buildConfig(rows, cols, iters, cores int, seed int64, full bool) (experiment.Config, error) {
+	cfg := experiment.Config{Rows: rows, Cols: cols, Iters: iters, Cores: cores, Seed: seed}
+	if full {
+		cfg = experiment.Config{Seed: seed}
+	}
+	if err := cfg.Validate(); err != nil {
+		return experiment.Config{}, err
+	}
+	return cfg, nil
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildConfigValidation(t *testing.T) {
+	tests := []struct {
+		name                     string
+		rows, cols, iters, cores int
+		full                     bool
+		wantErr                  string
+	}{
+		{"reduced scale", 4096, 4096, 10, 48, false, ""},
+		{"full overrides bad scale flags", -1, -1, -1, -1, true, ""},
+		{"negative cores", 4096, 4096, 10, -48, false, "core count"},
+		{"tiny grid", 2, 4096, 10, 48, false, "too small"},
+		{"negative iters", 4096, 4096, -10, 48, false, "iteration count"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := buildConfig(tc.rows, tc.cols, tc.iters, tc.cores, 7, tc.full)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted invalid config, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

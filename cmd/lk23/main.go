@@ -37,10 +37,9 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := experiment.Config{
-		Rows: *rows, Cols: *cols, Iters: *iters,
-		Cores: *cores, CoresPerSocket: *perSock, Seed: *seed,
-		BlocksOverride: *blocks,
+	cfg, err := buildConfig(*rows, *cols, *iters, *cores, *perSock, *blocks, *seed)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	if *figure1 {
@@ -71,6 +70,21 @@ func main() {
 	}
 	fmt.Println(res)
 	fmt.Printf("  tasks=%d strategy=%s migrations=%d\n", res.Tasks, res.Strategy, res.Migrations)
+}
+
+// buildConfig assembles and validates the experiment configuration from the
+// flag values, so a bad invocation fails with one clean line instead of a
+// panic deep in the pipeline.
+func buildConfig(rows, cols, iters, cores, perSock, blocks int, seed int64) (experiment.Config, error) {
+	cfg := experiment.Config{
+		Rows: rows, Cols: cols, Iters: iters,
+		Cores: cores, CoresPerSocket: perSock, Seed: seed,
+		BlocksOverride: blocks,
+	}
+	if err := cfg.Validate(); err != nil {
+		return experiment.Config{}, err
+	}
+	return cfg, nil
 }
 
 func fatalf(format string, args ...interface{}) {

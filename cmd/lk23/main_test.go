@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildConfigValidation(t *testing.T) {
+	tests := []struct {
+		name                                      string
+		rows, cols, iters, cores, perSock, blocks int
+		wantErr                                   string
+	}{
+		{"defaults", 16384, 16384, 100, 192, 8, 0, ""},
+		{"zero means default", 0, 0, 0, 0, 0, 0, ""},
+		{"negative cores", 64, 64, 5, -1, 8, 0, "core count"},
+		{"zero rows survive, tiny rows do not", 2, 64, 5, 8, 8, 0, "too small"},
+		{"negative cols", 64, -4, 5, 8, 8, 0, "too small"},
+		{"zero iters default, negative iters rejected", 64, 64, -1, 8, 8, 0, "iteration count"},
+		{"negative cores per socket", 64, 64, 5, 8, -2, 0, "cores per socket"},
+		{"negative blocks", 64, 64, 5, 8, 8, -3, "block count"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := buildConfig(tc.rows, tc.cols, tc.iters, tc.cores, tc.perSock, tc.blocks, 42)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted invalid config, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -88,6 +88,30 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Validate rejects configurations the pipeline cannot run: non-positive
+// core, socket or iteration counts, and grids without an interior. Zero
+// values are legal (they select the paper defaults); explicit negative or
+// too-small values are not. Commands call this at the flag boundary so a
+// bad invocation dies with one clean line instead of a panic.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	switch {
+	case d.Rows < 3 || d.Cols < 3:
+		return fmt.Errorf("experiment: grid %dx%d too small (needs an interior of at least 3x3)", d.Rows, d.Cols)
+	case d.Iters < 1:
+		return fmt.Errorf("experiment: iteration count %d must be positive", d.Iters)
+	case d.Cores < 1:
+		return fmt.Errorf("experiment: core count %d must be positive", d.Cores)
+	case d.CoresPerSocket < 1:
+		return fmt.Errorf("experiment: cores per socket %d must be positive", d.CoresPerSocket)
+	case d.BlocksOverride < 0:
+		return fmt.Errorf("experiment: block count %d must not be negative", d.BlocksOverride)
+	case d.OMPSerialFraction < 0 || d.OMPSerialFraction > 1:
+		return fmt.Errorf("experiment: OMP serial fraction %v outside [0,1]", d.OMPSerialFraction)
+	}
+	return nil
+}
+
 // Result reports one LK23 run.
 type Result struct {
 	Impl    Impl
@@ -150,9 +174,20 @@ func BlockGrid(n int) (bx, by int) {
 	return n, 1
 }
 
+// buildLK23 constructs the cost-only LK23 block program on the runtime.
+func buildLK23(rt *orwl.Runtime, cfg Config, blocks int) (*kernels.Program, error) {
+	bx, by := BlockGrid(blocks)
+	return kernels.Build(rt, cfg.Rows, cfg.Cols, kernels.BuildOptions{
+		BX: bx, BY: by, Iters: cfg.Iters, Costs: kernels.LK23Costs,
+	})
+}
+
 // Run executes one LK23 configuration with the given implementation and
 // returns its simulated processing time.
 func Run(impl Impl, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	cfg = cfg.withDefaults()
 	switch impl {
 	case ORWLBind, ORWLNoBind:
@@ -183,10 +218,7 @@ func runORWLWithAssignment(impl Impl, cfg Config) (Result, *placement.Assignment
 	if blocks == 0 {
 		blocks = cfg.Cores
 	}
-	bx, by := BlockGrid(blocks)
-	prog, err := kernels.Build(rt, cfg.Rows, cfg.Cols, kernels.BuildOptions{
-		BX: bx, BY: by, Iters: cfg.Iters, Costs: kernels.LK23Costs,
-	})
+	prog, err := buildLK23(rt, cfg, blocks)
 	if err != nil {
 		return Result{}, nil, err
 	}

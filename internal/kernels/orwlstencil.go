@@ -248,10 +248,12 @@ func (p *Program) addMainTask(x, y int) {
 				proc.Compute(costs.FlopsPerCell * cells)
 				proc.SweepWorkingSet(p.BlockLoc[y][x].Region(), int64(costs.BytesPerCell*cells))
 			}
-			t.EndIteration()
 			if err := releaseOrNext(wB, last); err != nil {
 				return err
 			}
+			// After the final release: EndIteration is an epoch barrier
+			// point and must not be reached holding a grant.
+			t.EndIteration()
 		}
 		return nil
 	})
@@ -302,10 +304,10 @@ func (p *Program) addFrontierTask(x, y int, d comm.Frontier) {
 			if proc := t.Proc(); proc != nil {
 				proc.ComputeCycles(float64(n)) // strip copy
 			}
-			t.EndIteration()
 			if err := releaseOrNext(wF, last); err != nil {
 				return err
 			}
+			t.EndIteration()
 		}
 		return nil
 	})

@@ -336,6 +336,26 @@ func (m *Machine) TransferCost(fromPU, toPU int, bytes float64) float64 {
 	return m.memCostCycles(toPU, m.nodeOf[fromPU], bytes)
 }
 
+// MigrationCostCycles predicts what moving a bound execution stream from
+// fromPU to toPU costs: the migration penalty plus one pull of the given
+// working-set bytes from the old PU's node to the new PU (the region
+// re-homing copy plus the cold-cache refill it stands for). It is a pure
+// function of the current contention state — the prediction an adaptive
+// placement engine weighs against the expected communication gain before
+// committing to a re-placement (the actual charges happen in
+// Proc.MigrateTo and Proc.MigrateRegion). A negative fromPU (unbound
+// stream) prices the pull as a node-0 fetch, the serial-init default.
+func (m *Machine) MigrationCostCycles(fromPU, toPU int, workingSetBytes float64) float64 {
+	if fromPU == toPU {
+		return 0
+	}
+	fromNode := 0
+	if fromPU >= 0 {
+		fromNode = m.nodeOf[fromPU]
+	}
+	return m.cfg.MigrationPenaltyCycles + m.memCostCycles(toPU, fromNode, workingSetBytes)
+}
+
 // MissFactor returns the fraction of a working set that must be re-streamed
 // from memory on every sweep, given the PU's share of the last-level cache:
 // 1 when the set does not fit at all, decreasing linearly to

@@ -1,0 +1,169 @@
+package numasim
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func migrateMachine(t *testing.T) *Machine {
+	t.Helper()
+	topo, err := topology.FromSpec("pack:2 l3:1 core:2 pu:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMigrateToChargesPenaltyAndGoesCold(t *testing.T) {
+	m := migrateMachine(t)
+	p, err := m.NewProc("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.AllocOn("data", 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SweepWorkingSet(r, 1<<10) // warm the caches
+	before := p.Clock()
+
+	if err := p.MigrateTo(2); err != nil { // core on the other socket
+		t.Fatal(err)
+	}
+	if got := p.Clock() - before; got != m.Config().MigrationPenaltyCycles {
+		t.Errorf("migration charged %v cycles, want the penalty %v", got, m.Config().MigrationPenaltyCycles)
+	}
+	if p.PU() != 2 {
+		t.Errorf("Proc on PU %d after MigrateTo(2)", p.PU())
+	}
+	if p.Stats().Migrations != 1 {
+		t.Errorf("migrations = %d, want 1", p.Stats().Migrations)
+	}
+
+	// Cold caches: the next sweep of a cache-resident set pays full traffic.
+	warmStart := p.Clock()
+	p.SweepWorkingSet(r, 1<<10)
+	coldCost := p.Clock() - warmStart
+	warmStart = p.Clock()
+	p.SweepWorkingSet(r, 1<<10)
+	warmCost := p.Clock() - warmStart
+	if coldCost <= warmCost {
+		t.Errorf("post-migration sweep %v not costlier than warm sweep %v", coldCost, warmCost)
+	}
+}
+
+func TestMigrateToSamePUFree(t *testing.T) {
+	m := migrateMachine(t)
+	p, err := m.NewProc("w", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MigrateTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Clock() != 0 || p.Stats().Migrations != 0 {
+		t.Errorf("no-op migration charged clock=%v migrations=%d", p.Clock(), p.Stats().Migrations)
+	}
+}
+
+func TestMigrateToPinsUnboundProc(t *testing.T) {
+	m := migrateMachine(t)
+	p := m.NewUnboundProc("roamer", 1)
+	if err := p.MigrateTo(3); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Bound() || p.PU() != 3 {
+		t.Errorf("after MigrateTo: bound=%v pu=%d, want pinned to 3", p.Bound(), p.PU())
+	}
+	// A pinned Proc no longer follows the simulated OS scheduler.
+	for i := 0; i < 10; i++ {
+		p.Reschedule(1.0)
+	}
+	if p.PU() != 3 {
+		t.Errorf("pinned Proc migrated by Reschedule to PU %d", p.PU())
+	}
+}
+
+func TestPlaceAtIsFree(t *testing.T) {
+	m := migrateMachine(t)
+	p, err := m.NewProc("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PlaceAt(2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Clock() != 0 {
+		t.Errorf("PlaceAt charged %v cycles, want 0", p.Clock())
+	}
+	if p.PU() != 2 || p.Stats().Migrations != 1 {
+		t.Errorf("PlaceAt: pu=%d migrations=%d", p.PU(), p.Stats().Migrations)
+	}
+}
+
+func TestMigrateRegionRehomesAndCharges(t *testing.T) {
+	m := migrateMachine(t)
+	p, err := m.NewProc("w", 2) // socket 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.AllocOn("block", 1<<20, 0) // socket 0's node
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MigrateRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Home() != m.NodeOfPU(2) {
+		t.Errorf("region home %d after MigrateRegion, want %d", r.Home(), m.NodeOfPU(2))
+	}
+	if p.Stats().MemoryCycles <= 0 {
+		t.Errorf("region pull charged no memory cycles")
+	}
+	// Re-homing a local region is free.
+	before := p.Clock()
+	if err := p.MigrateRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	if p.Clock() != before {
+		t.Errorf("local re-home charged %v cycles", p.Clock()-before)
+	}
+}
+
+func TestMigrateRegionUntouchedFirstTouchFree(t *testing.T) {
+	m := migrateMachine(t)
+	p, err := m.NewProc("w", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.AllocFirstTouch("lazy", 1<<20)
+	if err := p.MigrateRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Home() != m.NodeOfPU(2) {
+		t.Errorf("untouched region home %d, want %d", r.Home(), m.NodeOfPU(2))
+	}
+	if p.Clock() != 0 {
+		t.Errorf("re-homing an untouched region charged %v cycles", p.Clock())
+	}
+}
+
+func TestMigrationCostCyclesPredicts(t *testing.T) {
+	m := migrateMachine(t)
+	if got := m.MigrationCostCycles(0, 0, 1<<20); got != 0 {
+		t.Errorf("same-PU migration cost %v, want 0", got)
+	}
+	near := m.MigrationCostCycles(0, 1, 1<<20) // same socket
+	far := m.MigrationCostCycles(0, 2, 1<<20)  // cross socket
+	if near <= m.Config().MigrationPenaltyCycles {
+		t.Errorf("near migration cost %v does not include the pull", near)
+	}
+	if far <= near {
+		t.Errorf("cross-socket migration %v not costlier than same-socket %v", far, near)
+	}
+}

@@ -218,6 +218,80 @@ func (p *Proc) Reschedule(migrationProbability float64) {
 	p.stats.Migrations++
 }
 
+// MigrateTo moves the Proc to the given PU mid-run and prices the move: the
+// migration penalty (pipeline drain + scheduler latency) is charged to the
+// Proc's clock, its caches go cold (the next working-set sweep pays full
+// traffic), and the move pins the Proc there (an adaptive placement decision
+// is a binding). Moving to the current PU of an already-bound Proc is free.
+// This is the cost model behind epoch-based re-placement: adapting is never
+// free, so an engine must weigh the predicted gain against this price (see
+// Machine.MigrationCostCycles).
+func (p *Proc) MigrateTo(pu int) error {
+	return p.move(pu, true)
+}
+
+// PlaceAt moves the Proc to the given PU without charging anything: the
+// oracle variant of MigrateTo, used to bound how much an adaptive engine
+// could gain if migration were free. The move still pins the Proc and still
+// counts in the migration statistics, but the clock and cache state are
+// untouched.
+func (p *Proc) PlaceAt(pu int) error {
+	return p.move(pu, false)
+}
+
+// move pins the Proc to pu, charging the migration penalty and invalidating
+// the caches when charged is true.
+func (p *Proc) move(pu int, charged bool) error {
+	if pu < 0 || pu >= p.m.topo.NumPUs() {
+		return fmt.Errorf("numasim: PU %d out of range [0,%d)", pu, p.m.topo.NumPUs())
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pu == p.pu {
+		if !p.bound {
+			p.bound = true
+			p.m.bindPU(pu, +1)
+		}
+		return nil
+	}
+	if p.bound {
+		p.m.bindPU(p.pu, -1)
+	}
+	p.m.bindPU(pu, +1)
+	p.bound = true
+	p.pu = pu
+	if charged {
+		p.cold = true
+		p.clock += p.m.cfg.MigrationPenaltyCycles
+	}
+	p.stats.Migrations++
+	return nil
+}
+
+// MigrateRegion re-homes a region onto the Proc's current NUMA node,
+// charging the Proc one full stream of the region from its old home (the
+// page-migration copy). Re-homing a region already local to the Proc is
+// free. Interleaved regions cannot be re-homed.
+func (p *Proc) MigrateRegion(r *Region) error {
+	if r.Policy() == Interleaved {
+		return fmt.Errorf("numasim: cannot re-home interleaved region %q", r.Name())
+	}
+	p.mu.Lock()
+	node := p.m.nodeOf[p.pu]
+	p.mu.Unlock()
+	old := r.Home()
+	if old == node {
+		return nil
+	}
+	// An untouched first-touch region has no pages to copy; otherwise the
+	// copy streams from the old home (MemRead resolves the cost against the
+	// region's current home before it moves).
+	if old >= 0 {
+		p.MemRead(r, float64(r.Bytes()))
+	}
+	return r.MoveTo(node)
+}
+
 // Release unbinds a bound Proc from its core's occupancy accounting. Call
 // when the task exits; required only when Procs are created and destroyed
 // repeatedly on one Machine.

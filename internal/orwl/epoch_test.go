@@ -1,0 +1,313 @@
+package orwl
+
+import (
+	"testing"
+
+	"repro/internal/numasim"
+	"repro/internal/topology"
+)
+
+// epochRing builds n tasks where task i writes its own location and reads
+// its left neighbour's, iters times — an iterative cycle that exercises the
+// epoch barrier with real lock traffic. Every task calls EndIteration after
+// its final release of the iteration, as epoch-enabled programs must.
+func epochRing(t *testing.T, rt *Runtime, n, iters int, volume float64) {
+	t.Helper()
+	locs := make([]*Location, n)
+	for i := 0; i < n; i++ {
+		locs[i] = rt.NewLocation("ring", int64(volume))
+	}
+	for i := 0; i < n; i++ {
+		task := rt.AddTask("t", nil)
+		left := locs[(i+n-1)%n]
+		r := task.NewHandleVol(left, Read, volume, 0)
+		w := task.NewHandleVol(locs[i], Write, volume, 1)
+		task.SetFunc(func(tk *Task) error {
+			for it := 0; it < iters; it++ {
+				last := it == iters-1
+				for _, h := range []*Handle{r, w} {
+					if err := h.Acquire(); err != nil {
+						return err
+					}
+					var err error
+					if last {
+						err = h.Release()
+					} else {
+						err = h.ReleaseAndRequest()
+					}
+					if err != nil {
+						return err
+					}
+				}
+				tk.EndIteration()
+			}
+			return nil
+		})
+	}
+}
+
+func epochMachine(t *testing.T) *numasim.Machine {
+	t.Helper()
+	topo, err := topology.FromSpec("pack:2 l3:1 core:4 pu:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := numasim.New(topo, numasim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEpochHookFiresAtBoundaries(t *testing.T) {
+	mach := epochMachine(t)
+	rt := NewRuntime(Options{Machine: mach})
+	epochRing(t, rt, 4, 12, 1024)
+	var indices []int
+	if err := rt.ConfigureEpochs(3, 0, func(e *Epoch) {
+		indices = append(indices, e.Index())
+		if got := len(e.Tasks()); got != 4 {
+			t.Errorf("epoch %d: %d tasks at the barrier, want 4", e.Index(), got)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range rt.Tasks() {
+		if err := rt.Bind(task, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 12 iterations / interval 3 = 4 epochs, the last at program end.
+	if len(indices) != 4 {
+		t.Fatalf("hook fired %d times, want 4 (%v)", len(indices), indices)
+	}
+	for i, idx := range indices {
+		if idx != i+1 {
+			t.Errorf("epoch indices %v, want 1..4", indices)
+			break
+		}
+	}
+	if rt.Epochs() != 4 {
+		t.Errorf("Epochs() = %d, want 4", rt.Epochs())
+	}
+}
+
+func TestEpochWindowResetsBetweenEpochs(t *testing.T) {
+	const vol = 2048
+	mach := epochMachine(t)
+	rt := NewRuntime(Options{Machine: mach})
+	epochRing(t, rt, 3, 8, vol)
+	var windows []float64
+	if err := rt.ConfigureEpochs(4, 0, func(e *Epoch) {
+		windows = append(windows, e.Window().TotalVolume())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range rt.Tasks() {
+		if err := rt.Bind(task, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 2 {
+		t.Fatalf("hook fired %d times, want 2", len(windows))
+	}
+	// Each epoch must see only its own 4 iterations' traffic: the window
+	// resets between epochs instead of accumulating run-to-date volume.
+	if windows[0] <= 0 {
+		t.Fatalf("first epoch window empty")
+	}
+	if windows[1] > windows[0]*1.5 {
+		t.Errorf("second epoch window %v not reset (first %v)", windows[1], windows[0])
+	}
+	// The run-to-date measured matrix keeps growing regardless.
+	total := rt.MeasuredCommMatrix().TotalVolume()
+	if total < windows[0]+windows[1] {
+		t.Errorf("measured total %v smaller than the epoch windows %v", total, windows)
+	}
+	// After the final epoch boundary (iteration 8 = last), the window holds
+	// nothing new.
+	if got := rt.MeasuredWindow().TotalVolume(); got != 0 {
+		t.Errorf("window holds %v after the final boundary, want 0", got)
+	}
+}
+
+func TestEpochRebindMovesTaskAndData(t *testing.T) {
+	mach := epochMachine(t)
+	rt := NewRuntime(Options{Machine: mach})
+	epochRing(t, rt, 2, 6, 4096)
+	tasks := rt.Tasks()
+	rebound := false
+	if err := rt.ConfigureEpochs(2, 0, func(e *Epoch) {
+		if rebound {
+			return
+		}
+		rebound = true
+		if err := e.Rebind(tasks[0], 7); err != nil { // other socket
+			t.Errorf("Rebind: %v", err)
+		}
+		if err := e.RebindControl(tasks[0], 6); err != nil {
+			t.Errorf("RebindControl: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range tasks {
+		if err := rt.Bind(task, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tasks[0].Proc().PU(); got != 7 {
+		t.Errorf("task 0 on PU %d after rebind, want 7", got)
+	}
+	if got := tasks[0].PU(); got != 7 {
+		t.Errorf("Task.PU() = %d after rebind, want 7", got)
+	}
+	if got := tasks[0].ControlPU(); got != 6 {
+		t.Errorf("control PU %d after rebind, want 6", got)
+	}
+	if got := tasks[0].Proc().Stats().Migrations; got != 1 {
+		t.Errorf("migrations = %d, want 1 (the charged rebind)", got)
+	}
+	// The task's written location followed it to the new socket.
+	var wLoc *Location
+	for _, h := range tasks[0].Handles() {
+		if h.Mode() == Write {
+			wLoc = h.Location()
+		}
+	}
+	if home := wLoc.Region().Home(); home != mach.NodeOfPU(7) {
+		t.Errorf("written region homed on node %d, want %d", home, mach.NodeOfPU(7))
+	}
+}
+
+func TestEpochRebindChargedVsFree(t *testing.T) {
+	run := func(free bool) float64 {
+		mach := epochMachine(t)
+		rt := NewRuntime(Options{Machine: mach})
+		epochRing(t, rt, 2, 8, 1<<16)
+		tasks := rt.Tasks()
+		moved := false
+		if err := rt.ConfigureEpochs(2, 0, func(e *Epoch) {
+			if moved {
+				return
+			}
+			moved = true
+			var err error
+			if free {
+				err = e.RebindFree(tasks[0], 7)
+			} else {
+				err = e.Rebind(tasks[0], 7)
+			}
+			if err != nil {
+				t.Errorf("rebind: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, task := range tasks {
+			if err := rt.Bind(task, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.MakespanCycles()
+	}
+	charged, free := run(false), run(true)
+	if charged <= free {
+		t.Errorf("charged rebind makespan %v not above the free-migration bound %v", charged, free)
+	}
+}
+
+func TestEpochDeterminism(t *testing.T) {
+	run := func() float64 {
+		mach := epochMachine(t)
+		rt := NewRuntime(Options{Machine: mach, Seed: 11})
+		epochRing(t, rt, 6, 12, 8192)
+		if err := rt.ConfigureEpochs(3, 0.5, func(e *Epoch) {
+			// Rotate every task one core to the right each epoch: constant
+			// churn, still deterministic.
+			for i, task := range e.Tasks() {
+				if err := e.Rebind(task, (task.Proc().PU()+1)%8); err != nil {
+					t.Errorf("rebind %d: %v", i, err)
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, task := range rt.Tasks() {
+			if err := rt.Bind(task, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.MakespanCycles()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("epoch-enabled run not deterministic: %v vs %v", a, b)
+	}
+	if a <= 0 {
+		t.Errorf("makespan %v not positive", a)
+	}
+}
+
+// TestEpochsCallableFromHook guards against a self-deadlock: the hook runs
+// with the barrier mutex held, and Runtime.Epochs must stay safe to call
+// there.
+func TestEpochsCallableFromHook(t *testing.T) {
+	mach := epochMachine(t)
+	rt := NewRuntime(Options{Machine: mach})
+	epochRing(t, rt, 2, 4, 512)
+	var seen []int
+	if err := rt.ConfigureEpochs(2, 0, func(e *Epoch) {
+		seen = append(seen, e.Runtime().Epochs())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range rt.Tasks() {
+		if err := rt.Bind(task, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Errorf("Epochs() from inside the hook saw %v, want [1 2]", seen)
+	}
+}
+
+func TestConfigureEpochsValidation(t *testing.T) {
+	rt := NewRuntime(Options{})
+	if err := rt.ConfigureEpochs(0, 0, nil); err == nil {
+		t.Errorf("interval 0 accepted")
+	}
+	rt1 := NewRuntime(Options{})
+	if err := rt1.ConfigureEpochs(2, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt1.ConfigureEpochs(3, 0, nil); err == nil {
+		t.Errorf("second ConfigureEpochs silently replaced the first")
+	}
+	rt2 := NewRuntime(Options{})
+	rt2.AddTask("t", func(*Task) error { return nil })
+	if err := rt2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.ConfigureEpochs(1, 0, nil); err == nil {
+		t.Errorf("ConfigureEpochs after Run accepted")
+	}
+}

@@ -71,6 +71,20 @@ func (h *Handle) State() HandleState {
 // Volume returns the per-iteration data volume attributed to the handle.
 func (h *Handle) Volume() float64 { return h.vol }
 
+// SetVolume changes the volume attributed to the handle's subsequent
+// acquires. It is meant to be called from the owning task's goroutine
+// (handles are never shared between tasks) when the application's
+// communication pattern shifts mid-run: both the transfer costs and the
+// measured communication window follow the new volume, which is how a
+// phase change becomes visible to epoch-based re-placement. The statically
+// extracted CommMatrix, in contrast, only ever sees the volumes declared at
+// build time.
+func (h *Handle) SetVolume(vol float64) {
+	h.mu.Lock()
+	h.vol = vol
+	h.mu.Unlock()
+}
+
 // Request enqueues a lock request. The runtime performs the initial
 // canonical insertion itself during Run; tasks call Request directly only
 // for ad-hoc (non-iterative) protocols.

@@ -70,6 +70,13 @@ type Runtime struct {
 	// records the handle volume against the (producer, consumer) pair.
 	measuredMu sync.Mutex
 	measured   map[[2]int]float64
+	// window accumulates the same observations over a bounded horizon; it
+	// is rolled at every epoch boundary so adaptive re-placement reacts to
+	// recent traffic rather than the run-to-date sum. Created by Run.
+	window *comm.Window
+
+	// epochs, when non-nil, holds the barrier state of ConfigureEpochs.
+	epochs *epochState
 
 	wallTime time.Duration
 }
@@ -194,6 +201,10 @@ func (rt *Runtime) Run() error {
 	}
 	rt.state = stateRunning
 	tasks := append([]*Task(nil), rt.tasks...)
+	rt.window = comm.NewWindow(len(tasks))
+	if rt.epochs != nil {
+		rt.epochs.active = len(tasks)
+	}
 	rt.mu.Unlock()
 
 	// Create the execution contexts now that bindings are final.
@@ -253,6 +264,7 @@ func (rt *Runtime) Run() error {
 		wg.Add(1)
 		go func(i int, t *Task) {
 			defer wg.Done()
+			defer rt.epochTaskDone()
 			if t.fn != nil {
 				errs[i] = t.fn(t)
 			}
@@ -438,7 +450,11 @@ func (rt *Runtime) recordComm(from, to int, vol float64) {
 		rt.measured = make(map[[2]int]float64)
 	}
 	rt.measured[[2]int{from, to}] += vol
+	window := rt.window
 	rt.measuredMu.Unlock()
+	if window != nil {
+		window.AddSym(from, to, vol)
+	}
 }
 
 // MeasuredCommMatrix returns the communication matrix actually observed
@@ -460,6 +476,20 @@ func (rt *Runtime) MeasuredCommMatrix() *comm.Matrix {
 	}
 	rt.measuredMu.Unlock()
 	return m
+}
+
+// MeasuredWindow returns a snapshot of the windowed measured communication
+// matrix: the observations accumulated since the last epoch boundary (plus
+// whatever earlier epochs' decayed residue the ConfigureEpochs factor
+// keeps). Before Run it returns an empty matrix.
+func (rt *Runtime) MeasuredWindow() *comm.Matrix {
+	rt.mu.Lock()
+	w, n := rt.window, len(rt.tasks)
+	rt.mu.Unlock()
+	if w == nil {
+		return comm.New(n)
+	}
+	return w.Snapshot()
 }
 
 // trace dispatches a trace event when a hook is installed.

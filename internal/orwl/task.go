@@ -95,12 +95,19 @@ func (t *Task) NewHandleVol(loc *Location, mode Mode, vol float64, rank int) *Ha
 }
 
 // EndIteration marks an iteration boundary: a scheduling point at which the
-// simulated OS may migrate an unbound task (bound tasks never move).
-// Iterative kernels call it once per outer iteration.
+// simulated OS may migrate an unbound task (bound tasks never move), and —
+// when epochs are enabled (ConfigureEpochs) — the point where the task
+// parks at the epoch barrier every epoch-interval iterations. Iterative
+// kernels call it once per outer iteration, after releasing every handle of
+// the iteration, so that a parked task never starves another task's
+// progress toward the same barrier.
 func (t *Task) EndIteration() {
 	t.iterations++
 	if t.proc != nil {
 		t.proc.Reschedule(t.rt.opts.MigrationProbability)
+	}
+	if es := t.rt.epochs; es != nil && t.iterations%es.interval == 0 {
+		t.rt.epochArrive(t)
 	}
 }
 

@@ -1,0 +1,244 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/numasim"
+	"repro/internal/orwl"
+)
+
+// AdaptiveOptions configures the epoch-based adaptive re-placement engine.
+type AdaptiveOptions struct {
+	// Base computes every candidate mapping: the initial one from the
+	// statically extracted affinity matrix, and one per epoch from the
+	// windowed measured matrix. Defaults to TreeMatch{}.
+	Base Policy
+	// EpochIters is the number of iterations between re-placement
+	// decisions. Required (>= 1).
+	EpochIters int
+	// Hysteresis scales the modeled migration cost a candidate mapping must
+	// beat before it is applied: the predicted per-epoch gain must exceed
+	// Hysteresis × (migration penalty + region re-homing pulls). Higher
+	// values mean calmer placement; 0 defaults to 1 (the candidate must
+	// recoup the migration bill within one epoch).
+	Hysteresis float64
+	// WindowDecay is the comm.Window decay factor: 0 resets the observation
+	// window every epoch, a factor in (0,1) keeps an exponentially decayed
+	// memory of earlier epochs.
+	WindowDecay float64
+	// FreeMigration applies every strictly improving candidate without
+	// charging migration: the oracle configuration, an upper bound on what
+	// adaptivity could gain. Never use it to report real results.
+	FreeMigration bool
+}
+
+// AdaptiveStats summarizes what the engine did over a run.
+type AdaptiveStats struct {
+	// Epochs is the number of re-placement decisions taken.
+	Epochs int
+	// Applied counts epochs whose candidate mapping was committed; Skipped
+	// counts epochs where hysteresis (or a non-improving candidate) kept
+	// the current mapping.
+	Applied, Skipped int
+	// Rebinds is the total number of task migrations committed.
+	Rebinds int
+	// PredictedGainCycles and MigrationCostCycles accumulate the model's
+	// side of every applied decision, for reporting.
+	PredictedGainCycles float64
+	// MigrationCostCycles is the total modeled price of the applied moves.
+	MigrationCostCycles float64
+}
+
+// AdaptiveEngine is the feedback loop around a base placement policy: at
+// every epoch boundary it recomputes a candidate mapping from the observed
+// communication window and commits it only when the predicted gain clears
+// the modeled migration cost. Create it with PlaceAdaptive.
+type AdaptiveEngine struct {
+	opts AdaptiveOptions
+	rt   *orwl.Runtime
+	mach *numasim.Machine
+
+	// current mirrors the mapping actually in force, task ID → PU.
+	current    []int
+	currentCtl []int
+	// migrateBytes[id] is the working set a task drags along when it moves:
+	// the locations it writes (its data is homed next to it).
+	migrateBytes []float64
+
+	mu    sync.Mutex
+	stats AdaptiveStats
+	errs  []error
+}
+
+// PlaceAdaptive runs the full adaptive pipeline on an ORWL program: the
+// base policy places the tasks from the statically extracted affinity
+// matrix exactly like Place, and the runtime is configured so that every
+// opts.EpochIters iterations the engine re-decides the placement from the
+// measured communication window. Call before rt.Run; inspect the engine
+// (Stats, Err, Assignment) after the run returns.
+func PlaceAdaptive(rt *orwl.Runtime, opts AdaptiveOptions) (*AdaptiveEngine, error) {
+	if rt.Machine() == nil {
+		return nil, fmt.Errorf("placement: adaptive placement requires a machine")
+	}
+	if opts.EpochIters < 1 {
+		return nil, fmt.Errorf("placement: adaptive EpochIters %d must be at least 1", opts.EpochIters)
+	}
+	if opts.Base == nil {
+		opts.Base = TreeMatch{}
+	}
+	if opts.Hysteresis == 0 {
+		opts.Hysteresis = 1
+	}
+	a, err := Place(rt, opts.Base)
+	if err != nil {
+		return nil, err
+	}
+	e := &AdaptiveEngine{
+		opts:       opts,
+		rt:         rt,
+		mach:       rt.Machine(),
+		current:    append([]int(nil), a.TaskPU...),
+		currentCtl: append([]int(nil), a.ControlPU...),
+	}
+	e.migrateBytes = make([]float64, len(e.current))
+	for _, t := range rt.Tasks() {
+		for _, h := range t.Handles() {
+			if h.Mode() == orwl.Write {
+				e.migrateBytes[t.ID()] += float64(h.Location().Size())
+			}
+		}
+	}
+	if err := rt.ConfigureEpochs(opts.EpochIters, opts.WindowDecay, e.onEpoch); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// onEpoch is the re-placement decision, run while the runtime is quiesced.
+func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Epochs++
+	w := ep.Window()
+	if w == nil || w.TotalVolume() == 0 {
+		e.stats.Skipped++
+		return
+	}
+	cand, err := e.opts.Base.Assign(e.mach, w)
+	if err != nil {
+		e.errs = append(e.errs, fmt.Errorf("epoch %d: %w", ep.Index(), err))
+		e.stats.Skipped++
+		return
+	}
+	// Only the tasks parked at the barrier can move; a finished task's slot
+	// neither costs a migration nor changes, so the candidate keeps its
+	// current PU there (otherwise phantom moves of dead tasks would inflate
+	// the hysteresis threshold and block profitable live moves).
+	live := ep.Tasks()
+	isLive := make([]bool, len(cand.TaskPU))
+	for _, t := range live {
+		isLive[t.ID()] = true
+	}
+	for id := range cand.TaskPU {
+		if !isLive[id] {
+			cand.TaskPU[id] = e.current[id]
+		}
+	}
+	gain := MappingCost(e.mach, w, e.current) - MappingCost(e.mach, w, cand.TaskPU)
+	var migCost float64
+	for id, pu := range cand.TaskPU {
+		if pu != e.current[id] {
+			migCost += e.mach.MigrationCostCycles(e.current[id], pu, e.migrateBytes[id])
+		}
+	}
+	threshold := e.opts.Hysteresis * migCost
+	if e.opts.FreeMigration {
+		threshold = 0
+	}
+	if gain <= threshold {
+		e.stats.Skipped++
+		return
+	}
+	// Delta-apply: only the tasks whose slot changed move; everyone else
+	// keeps its warm caches and local data.
+	for _, t := range live {
+		id := t.ID()
+		if pu := cand.TaskPU[id]; pu >= 0 && pu != e.current[id] {
+			var err error
+			if e.opts.FreeMigration {
+				err = ep.RebindFree(t, pu)
+			} else {
+				err = ep.Rebind(t, pu)
+			}
+			if err != nil {
+				e.errs = append(e.errs, fmt.Errorf("epoch %d: rebind %s: %w", ep.Index(), t, err))
+				continue
+			}
+			e.current[id] = pu
+			e.stats.Rebinds++
+		}
+		if ctl := cand.ControlPU[id]; ctl != e.currentCtl[id] {
+			if err := ep.RebindControl(t, ctl); err != nil {
+				e.errs = append(e.errs, fmt.Errorf("epoch %d: rebind control %s: %w", ep.Index(), t, err))
+				continue
+			}
+			e.currentCtl[id] = ctl
+		}
+	}
+	e.stats.Applied++
+	e.stats.PredictedGainCycles += gain
+	e.stats.MigrationCostCycles += migCost
+}
+
+// Stats returns a snapshot of the engine's decision counters.
+func (e *AdaptiveEngine) Stats() AdaptiveStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Err joins every error the engine swallowed during epochs (a failing
+// candidate computation skips the epoch rather than crashing the run).
+func (e *AdaptiveEngine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return errors.Join(e.errs...)
+}
+
+// Assignment returns the mapping currently in force.
+func (e *AdaptiveEngine) Assignment() *Assignment {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	name := "adaptive(" + e.opts.Base.Name() + ")"
+	if e.opts.FreeMigration {
+		name = "oracle(" + e.opts.Base.Name() + ")"
+	}
+	return &Assignment{
+		Policy:       name,
+		TaskPU:       append([]int(nil), e.current...),
+		ControlPU:    append([]int(nil), e.currentCtl...),
+		VirtualArity: 1,
+	}
+}
+
+// MappingCost prices a task→PU mapping against a communication matrix: the
+// sum, over every communicating pair, of the cost of moving their exchanged
+// volume between their PUs. It is the objective the adaptive engine
+// minimizes when comparing the current mapping with a candidate; only
+// differences matter, so the omitted per-node contention effects cancel.
+func MappingCost(mach *numasim.Machine, m *comm.Matrix, taskPU []int) float64 {
+	var s float64
+	for i := 0; i < m.Order(); i++ {
+		for j := i + 1; j < m.Order(); j++ {
+			vol := m.At(i, j) + m.At(j, i)
+			if vol == 0 {
+				continue
+			}
+			s += mach.TransferCost(taskPU[i], taskPU[j], vol)
+		}
+	}
+	return s
+}

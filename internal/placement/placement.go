@@ -148,27 +148,59 @@ type Scatter struct{}
 // Name implements Policy.
 func (Scatter) Name() string { return "scatter" }
 
-// Assign implements Policy.
+// Assign implements Policy. Cores are dealt out socket by socket in
+// round-robin order — consecutive tasks land on different sockets for as
+// long as more than one socket still has free cores — which stays correct
+// on uneven machines where the sockets do not evenly divide the cores (the
+// old arithmetic `(k/sockets) % (cores/sockets)` aliased cores there, and
+// divided by zero with more sockets than cores).
 func (Scatter) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment, error) {
 	if mach == nil {
 		return nil, fmt.Errorf("placement: scatter requires a machine")
 	}
 	topo := mach.Topology()
-	cores := topo.NumCores()
-	sockets := len(topo.Level(topo.DepthOf(topology.Package)))
-	if sockets == 0 {
-		sockets = 1
-	}
-	perSocket := cores / sockets
+	order := scatterOrder(topo)
 	a := unboundControls(m.Order(), "scatter")
 	for i := range a.TaskPU {
-		k := i % cores
-		socket := k % sockets
-		within := (k / sockets) % perSocket
-		a.TaskPU[i] = firstPU(topo, socket*perSocket+within)
+		a.TaskPU[i] = firstPU(topo, order[i%len(order)])
 	}
-	a.VirtualArity = (m.Order() + cores - 1) / cores
+	a.VirtualArity = (m.Order() + len(order) - 1) / len(order)
 	return a, nil
+}
+
+// scatterOrder lists the core level-indices in socket-interleaved order:
+// every socket's first core, then every socket's second core, and so on,
+// skipping sockets that have run out of cores.
+func scatterOrder(topo *topology.Topology) []int {
+	cores := topo.Cores()
+	packs := topo.Level(topo.DepthOf(topology.Package))
+	var queues [][]int
+	if len(packs) > 0 {
+		index := make(map[*topology.Object]int, len(packs))
+		for i, p := range packs {
+			index[p] = i
+		}
+		queues = make([][]int, len(packs))
+		for c, core := range cores {
+			i := index[core.Ancestor(topology.Package)]
+			queues[i] = append(queues[i], c)
+		}
+	} else {
+		all := make([]int, len(cores))
+		for c := range all {
+			all[c] = c
+		}
+		queues = [][]int{all}
+	}
+	order := make([]int, 0, len(cores))
+	for pos := 0; len(order) < len(cores); pos++ {
+		for _, q := range queues {
+			if pos < len(q) {
+				order = append(order, q[pos])
+			}
+		}
+	}
+	return order
 }
 
 // Random binds tasks to a seed-determined random permutation of the cores.

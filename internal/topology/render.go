@@ -29,16 +29,33 @@ func renderObj(b *strings.Builder, o *Object, indent int) {
 	b.WriteString(strings.Repeat("  ", indent))
 	b.WriteString(describe(o))
 	b.WriteByte('\n')
+	// Collapse each run of structurally identical sibling subtrees; on an
+	// uneven machine the differing siblings render separately.
+	for i := 0; i < len(o.Children); {
+		j := i + 1
+		for j < len(o.Children) && shape(o.Children[j]) == shape(o.Children[i]) {
+			j++
+		}
+		if j-i > 1 {
+			b.WriteString(strings.Repeat("  ", indent+1))
+			fmt.Fprintf(b, "(x%d identical subtrees, first shown)\n", j-i)
+		}
+		renderObj(b, o.Children[i], indent+1)
+		i = j
+	}
+}
+
+// shape returns a structural signature of a subtree: kinds and arities,
+// ignoring indices (attributes are uniform per kind by construction).
+func shape(o *Object) string {
 	if len(o.Children) == 0 {
-		return
+		return o.Kind.String()
 	}
-	// All levels are homogeneous, so all children render identically except
-	// for indices; render the first child and note the multiplicity.
-	if len(o.Children) > 1 {
-		b.WriteString(strings.Repeat("  ", indent+1))
-		fmt.Fprintf(b, "(x%d identical subtrees, first shown)\n", len(o.Children))
+	parts := make([]string, len(o.Children))
+	for i, c := range o.Children {
+		parts[i] = shape(c)
 	}
-	renderObj(b, o.Children[0], indent+1)
+	return o.Kind.String() + "[" + strings.Join(parts, ",") + "]"
 }
 
 // describe renders one object with its salient attributes.

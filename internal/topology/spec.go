@@ -43,10 +43,28 @@ func DefaultAttrs() Defaults {
 	}
 }
 
-// specLevel is one parsed "kind:count" token.
+// specLevel is one parsed "kind:count" (or "kind:c0,c1,...") token. counts
+// has one entry per parent object when the level is uneven, or a single
+// entry applied to every parent.
 type specLevel struct {
-	kind  Kind
-	count int
+	kind   Kind
+	counts []int
+}
+
+// total returns the number of objects this level creates under nParents
+// parents, or an error when an uneven count list does not match.
+func (l specLevel) total(nParents int) (int, error) {
+	if len(l.counts) == 1 {
+		return nParents * l.counts[0], nil
+	}
+	if len(l.counts) != nParents {
+		return 0, fmt.Errorf("topology: level %v lists %d counts for %d parents", l.kind, len(l.counts), nParents)
+	}
+	n := 0
+	for _, c := range l.counts {
+		n += c
+	}
+	return n, nil
 }
 
 var kindTokens = map[string]Kind{
@@ -76,6 +94,12 @@ func FromSpec(spec string) (*Topology, error) {
 //
 //	pack:24 core:8 pu:1        the paper's 192-core machine
 //	pack:4 numa:2 l3:1 core:6 pu:2   a deeper, hyperthreaded machine
+//
+// A count may also be a comma-separated list with one entry per object at
+// the level above, describing an uneven machine (a partially populated or
+// heterogeneous SMP):
+//
+//	pack:3 core:2,1,1 pu:1     three sockets with 2, 1 and 1 cores
 //
 // Recognized kinds: group, pack (or socket), numa (or node), l3, l2, l1,
 // core, pu. Kinds must appear in root-to-leaf order and at most once. Two
@@ -109,15 +133,19 @@ func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 		if kind == Machine {
 			return nil, fmt.Errorf("topology: the machine root is implicit and must not appear in the spec")
 		}
-		n, err := strconv.Atoi(parts[1])
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("topology: invalid count in token %q", f)
+		var counts []int
+		for _, cs := range strings.Split(parts[1], ",") {
+			n, err := strconv.Atoi(cs)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("topology: invalid count in token %q", f)
+			}
+			counts = append(counts, n)
 		}
 		if seen[kind] {
 			return nil, fmt.Errorf("topology: kind %v appears twice", kind)
 		}
 		seen[kind] = true
-		levels = append(levels, specLevel{kind, n})
+		levels = append(levels, specLevel{kind, counts})
 	}
 	if !sort.SliceIsSorted(levels, func(i, j int) bool { return levels[i].kind < levels[j].kind }) {
 		return nil, fmt.Errorf("topology: kinds must appear in root-to-leaf order (machine, group, pack, numa, l3, l2, l1, core, pu)")
@@ -125,7 +153,9 @@ func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 	levels = normalize(levels)
 
 	root := &Object{Kind: Machine, Attr: Attr{ClockHz: def.ClockHz}}
-	grow(root, levels, def)
+	if err := grow(root, levels, def); err != nil {
+		return nil, err
+	}
 	t := build(root, canonicalSpec(levels))
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -155,16 +185,16 @@ func normalize(levels []specLevel) []specLevel {
 	}
 	if !has(NUMANode) {
 		if has(Package) {
-			insertAfterKind(Package, specLevel{NUMANode, 1})
+			insertAfterKind(Package, specLevel{NUMANode, []int{1}})
 		} else {
-			insertAfterKind(Group, specLevel{NUMANode, 1}) // right below machine/groups
+			insertAfterKind(Group, specLevel{NUMANode, []int{1}}) // right below machine/groups
 		}
 	}
 	if !has(Core) {
-		insertAfterKind(L1, specLevel{Core, 1})
+		insertAfterKind(L1, specLevel{Core, []int{1}})
 	}
 	if !has(PU) {
-		levels = append(levels, specLevel{PU, 1})
+		levels = append(levels, specLevel{PU, []int{1}})
 	}
 	return levels
 }
@@ -177,22 +207,39 @@ func canonicalSpec(levels []specLevel) string {
 	}
 	parts := make([]string, len(levels))
 	for i, l := range levels {
-		parts[i] = fmt.Sprintf("%s:%d", names[l.kind], l.count)
+		cs := make([]string, len(l.counts))
+		for j, c := range l.counts {
+			cs[j] = strconv.Itoa(c)
+		}
+		parts[i] = fmt.Sprintf("%s:%s", names[l.kind], strings.Join(cs, ","))
 	}
 	return strings.Join(parts, " ")
 }
 
-// grow recursively attaches children for the remaining spec levels.
-func grow(parent *Object, levels []specLevel, def Defaults) {
-	if len(levels) == 0 {
-		return
+// grow attaches children level by level. A level with a single count gives
+// every parent that many children; an uneven level lists one count per
+// parent, in left-to-right order.
+func grow(root *Object, levels []specLevel, def Defaults) error {
+	parents := []*Object{root}
+	for _, l := range levels {
+		if _, err := l.total(len(parents)); err != nil {
+			return err
+		}
+		var next []*Object
+		for pi, p := range parents {
+			n := l.counts[0]
+			if len(l.counts) > 1 {
+				n = l.counts[pi]
+			}
+			for i := 0; i < n; i++ {
+				c := &Object{Kind: l.kind, Attr: attrFor(l.kind, def)}
+				p.Children = append(p.Children, c)
+				next = append(next, c)
+			}
+		}
+		parents = next
 	}
-	l := levels[0]
-	for i := 0; i < l.count; i++ {
-		c := &Object{Kind: l.kind, Attr: attrFor(l.kind, def)}
-		parent.Children = append(parent.Children, c)
-		grow(c, levels[1:], def)
-	}
+	return nil
 }
 
 // attrFor returns the default physical attributes for an object kind.

@@ -2,8 +2,9 @@
 // as a tree of objects, in the spirit of the HWLOC library that the paper
 // uses for portable topology discovery.
 //
-// A topology is a rooted tree whose levels are homogeneous: every object at a
-// given depth has the same Kind and the same number of children. The leaves
+// A topology is a rooted tree whose levels are kind-homogeneous: every
+// object at a given depth has the same Kind. Arities usually match too, but
+// uneven machines (partially populated sockets) are representable. The leaves
 // are processing units (PUs, i.e. hardware threads); above them sit cores,
 // caches, NUMA nodes, packages (sockets) and optional groups. Each object may
 // carry physical attributes (cache size, latency, memory bandwidth) used by
@@ -176,8 +177,10 @@ func (t *Topology) DepthOf(k Kind) int {
 	return -1
 }
 
-// Arity returns the number of children of each object at the given depth.
-// Levels are homogeneous by construction. The PU level has arity 0.
+// Arity returns the number of children of the first object at the given
+// depth. On uneven topologies siblings at a level may differ; callers that
+// need a balanced tree (TreeMatch) verify that separately. The PU level has
+// arity 0.
 func (t *Topology) Arity(depth int) int {
 	if depth < 0 || depth >= len(t.levels) {
 		return 0
@@ -269,12 +272,14 @@ func (t *Topology) SameNUMANode(a, b *Object) bool {
 	return na != nil && na == nb
 }
 
-// Validate checks the structural invariants of the topology: homogeneous
-// levels, consistent parent/child links, correct depth and index numbering,
-// a single Machine root, PU leaves, and at least one NUMA node. It returns
-// nil when the topology is well formed. Topologies built by FromSpec always
-// validate; the method exists so that hand-built or mutated trees can be
-// checked in tests.
+// Validate checks the structural invariants of the topology: kind-
+// homogeneous levels, consistent parent/child links, correct depth and
+// index numbering, a single Machine root, PU leaves, and at least one NUMA
+// node. Arities may differ within a level (an uneven machine); consumers
+// that require a balanced tree — TreeMatch — detect and reject that
+// themselves. It returns nil when the topology is well formed. Topologies
+// built by FromSpec always validate; the method exists so that hand-built
+// or mutated trees can be checked in tests.
 func (t *Topology) Validate() error {
 	if t.root == nil {
 		return fmt.Errorf("topology: nil root")
@@ -290,13 +295,12 @@ func (t *Topology) Validate() error {
 			return fmt.Errorf("topology: empty level %d", d)
 		}
 		kind := lv[0].Kind
-		arity := len(lv[0].Children)
 		for i, o := range lv {
 			if o.Kind != kind {
 				return fmt.Errorf("topology: level %d is not homogeneous: %v vs %v", d, o.Kind, kind)
 			}
-			if len(o.Children) != arity {
-				return fmt.Errorf("topology: level %d has mixed arities %d and %d", d, len(o.Children), arity)
+			if o.Kind != PU && len(o.Children) == 0 {
+				return fmt.Errorf("topology: %v at level %d has no children", o, d)
 			}
 			if o.Depth != d {
 				return fmt.Errorf("topology: %v stored at level %d has depth %d", o, d, o.Depth)

@@ -1,0 +1,50 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnevenSpec(t *testing.T) {
+	top, err := FromSpec("pack:3 core:2,1,1 pu:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := top.NumCores(); got != 4 {
+		t.Errorf("NumCores = %d, want 4", got)
+	}
+	if got := top.NumPUs(); got != 4 {
+		t.Errorf("NumPUs = %d, want 4", got)
+	}
+	packs := top.Level(top.DepthOf(Package))
+	if len(packs) != 3 {
+		t.Fatalf("%d packages, want 3", len(packs))
+	}
+	wantCores := []int{2, 1, 1}
+	for i, p := range packs {
+		n := 0
+		for _, c := range top.Cores() {
+			if c.Ancestor(Package) == p {
+				n++
+			}
+		}
+		if n != wantCores[i] {
+			t.Errorf("package %d carries %d cores, want %d", i, n, wantCores[i])
+		}
+	}
+	if err := top.Validate(); err != nil {
+		t.Errorf("uneven topology failed validation: %v", err)
+	}
+	if got := top.Spec(); !strings.Contains(got, "core:2,1,1") {
+		t.Errorf("canonical spec %q lost the uneven counts", got)
+	}
+}
+
+func TestUnevenSpecCountMismatch(t *testing.T) {
+	if _, err := FromSpec("pack:3 core:2,1 pu:1"); err == nil {
+		t.Errorf("2 counts for 3 packages accepted")
+	}
+	if _, err := FromSpec("pack:2 core:1,0 pu:1"); err == nil {
+		t.Errorf("zero count accepted")
+	}
+}

@@ -64,7 +64,19 @@ func FromTopology(t *topology.Topology, leaf topology.Kind) (*Tree, error) {
 	}
 	var arities []int
 	for d := 0; d < depth; d++ {
-		if a := t.Arity(d); a > 1 {
+		// TreeMatch's distance model needs a balanced tree: every object of
+		// a level must have the same fan-out. Uneven machines (representable
+		// since the spec grammar grew comma counts) are rejected explicitly —
+		// a first-object arity product that happens to match the leaf count
+		// would otherwise model the wrong locality.
+		a := t.Arity(d)
+		for _, o := range t.Level(d) {
+			if len(o.Children) != a {
+				return nil, fmt.Errorf("treematch: uneven topology: %v has %d children, siblings have %d",
+					o, len(o.Children), a)
+			}
+		}
+		if a > 1 {
 			arities = append(arities, a)
 		}
 	}

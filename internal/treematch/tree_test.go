@@ -236,3 +236,13 @@ func TestLeafDistanceMatchesTopologyHops(t *testing.T) {
 		}
 	}
 }
+
+func TestFromTopologyRejectsUneven(t *testing.T) {
+	top, err := topology.FromSpec("pack:3 core:2,1,1 pu:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromTopology(top, topology.Core); err == nil {
+		t.Errorf("FromTopology accepted an uneven topology; the balanced-tree distance model would be wrong")
+	}
+}

@@ -65,6 +65,39 @@ type (
 	NoBindPolicy    = placement.NoBind
 )
 
+// AdaptiveOptions, AdaptiveEngine and AdaptiveStats expose the epoch-based
+// adaptive re-placement engine: the one-shot pipeline of the paper turned
+// into a feedback loop that re-decides the placement from the measured
+// communication window at every epoch boundary.
+type (
+	AdaptiveOptions = placement.AdaptiveOptions
+	AdaptiveEngine  = placement.AdaptiveEngine
+	AdaptiveStats   = placement.AdaptiveStats
+)
+
+// PlaceAdaptive places rt's tasks with the base policy and installs the
+// epoch feedback loop; see placement.PlaceAdaptive.
+func PlaceAdaptive(rt *Runtime, opts AdaptiveOptions) (*AdaptiveEngine, error) {
+	return placement.PlaceAdaptive(rt, opts)
+}
+
+// Epoch is the quiesced runtime view handed to epoch hooks; see
+// orwl.Runtime.ConfigureEpochs.
+type Epoch = orwl.Epoch
+
+// PhaseShiftConfig and PhaseShiftResult parameterize the phase-shifting
+// evaluation scenario of the adaptive engine (experiment A8).
+type (
+	PhaseShiftConfig = experiment.PhaseShiftConfig
+	PhaseShiftResult = experiment.PhaseShiftResult
+)
+
+// RunPhaseShift runs the phase-shifting workload under "static", "adaptive"
+// or "oracle" placement; see experiment.RunPhaseShift.
+func RunPhaseShift(mode string, cfg PhaseShiftConfig) (PhaseShiftResult, error) {
+	return experiment.RunPhaseShift(mode, cfg)
+}
+
 // ExperimentConfig parameterizes the Livermore Kernel 23 experiment.
 type ExperimentConfig = experiment.Config
 
