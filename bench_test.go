@@ -166,6 +166,32 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationCluster is ablation A9: the multi-node stencil under
+// hierarchical two-level placement, flat TreeMatch on the cluster tree,
+// round-robin across nodes, and a fabric-free single machine of the same
+// core count.
+func BenchmarkAblationCluster(b *testing.B) {
+	cfg := experiment.ClusterConfig{Seed: 42} // defaults: 4 nodes x 12 cores
+	var rows []experiment.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiment.AblationCluster(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		b.ReportMetric(r.Seconds, metricUnit(r.Name))
+		byName[r.Name] = r.Seconds
+	}
+	// The A9 acceptance property, enforced at bench time too: two-level
+	// placement must beat flat treematch and round-robin across nodes.
+	if h := byName["cluster/hierarchical"]; h >= byName["cluster/flat"] || h >= byName["cluster/rr-nodes"] {
+		b.Fatalf("hierarchical placement did not win: %+v", byName)
+	}
+}
+
 // BenchmarkTreeMatchFullScale measures the mapping algorithm itself on the
 // paper's full problem: the 1728-operation LK23 affinity matrix onto the
 // 24×8 machine (runs at program launch in the real system, so its cost

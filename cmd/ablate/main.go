@@ -11,6 +11,7 @@
 //	ablate -exp distribute  # NUMA distribution (A6)
 //	ablate -exp ompsched    # OpenMP loop schedules (A7)
 //	ablate -exp adaptive    # epoch-based adaptive re-placement (A8)
+//	ablate -exp cluster     # multi-node hierarchical placement (A9)
 //	ablate -full            # paper-scale matrix and iterations
 package main
 
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, all")
+		exp   = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, all")
 		full  = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations, 192 cores; overrides -rows/-cols/-iters/-cores)")
 		seed  = flag.Int64("seed", 7, "simulated OS scheduler seed")
 		rows  = flag.Int("rows", 4096, "matrix rows (reduced scale)")
@@ -56,6 +57,9 @@ func main() {
 		{"distribute", "A6: NUMA distribution (cluster + distribute vs cluster only)", experiment.AblationDistribution},
 		{"ompsched", "A7: OpenMP loop schedules vs bound ORWL", experiment.AblationOMPSchedule},
 		{"adaptive", "A8: adaptive re-placement (static vs epoch feedback vs oracle)", experiment.AblationAdaptive},
+		{"cluster", "A9: multi-node placement (hierarchical vs flat vs rr-nodes vs one big node)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			return experiment.AblationCluster(experiment.ClusterConfigFrom(c))
+		}},
 	}
 
 	ran := false

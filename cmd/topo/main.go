@@ -3,11 +3,13 @@
 //
 //	topo -spec "pack:24 l3:1 core:8 pu:1"
 //	topo -spec "pack:2 numa:2 core:4 pu:2" -latency
+//	topo -spec "node:4 pack:2 core:8"        # a 4-machine cluster
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/topology"
@@ -20,34 +22,43 @@ func main() {
 	)
 	flag.Parse()
 
-	topo, err := topology.FromSpec(*spec)
-	if err != nil {
+	if err := run(*spec, *latency, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "topo: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println(topo)
-	fmt.Printf("normalized spec: %s\n\n", topo.Spec())
-	fmt.Print(topo.Render())
+}
 
-	fmt.Println("\nNUMA distances (SLIT style, local = 10):")
+// run renders the topology report for a spec onto w; it is the whole
+// command behind the flag parsing, separated so tests can drive it.
+func run(spec string, latency bool, w io.Writer) error {
+	topo, err := topology.FromSpec(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, topo)
+	fmt.Fprintf(w, "normalized spec: %s\n\n", topo.Spec())
+	fmt.Fprint(w, topo.Render())
+
+	fmt.Fprintln(w, "\nNUMA distances (SLIT style, local = 10):")
 	for _, row := range topo.NUMADistanceMatrix() {
 		for _, d := range row {
-			fmt.Printf(" %3d", d)
+			fmt.Fprintf(w, " %3d", d)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
-	if *latency {
+	if latency {
 		if topo.NumPUs() > 32 {
-			fmt.Println("\n(latency matrix suppressed: more than 32 PUs)")
-			return
+			fmt.Fprintln(w, "\n(latency matrix suppressed: more than 32 PUs)")
+			return nil
 		}
-		fmt.Println("\nPU-to-PU latency (cycles):")
+		fmt.Fprintln(w, "\nPU-to-PU latency (cycles):")
 		for _, row := range topo.LatencyMatrix() {
 			for _, l := range row {
-				fmt.Printf(" %6.0f", l)
+				fmt.Fprintf(w, " %6.0f", l)
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSpecValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    string
+		wantErr string
+	}{
+		{"paper machine", "pack:24 l3:1 core:8 pu:1", ""},
+		{"cluster spec", "node:4 pack:2 core:8", ""},
+		{"empty spec", "", "empty spec"},
+		{"bad token", "pack=24", "not of the form"},
+		{"unknown kind", "bogus:2", "unknown object kind"},
+		{"bad count", "pack:zero", "invalid count"},
+		{"out of order", "core:8 pack:24", "root-to-leaf order"},
+		{"duplicate kind", "pack:2 pack:2", "appears twice"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			err := run(tc.spec, false, &b)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted invalid spec, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunGoldenOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run("pack:2 l3:1 core:2 pu:1", true, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Machine (2 Package, 2 NUMANode, 2 L3, 4 Core, 4 PU)",
+		"normalized spec: pack:2 numa:1 l3:1 core:2 pu:1",
+		"NUMA distances (SLIT style, local = 10):",
+		"  10  30",
+		"  30  10",
+		"PU-to-PU latency (cycles):",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunClusterOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run("node:2 pack:1 core:2", false, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"2 Cluster",
+		"normalized spec: cluster:2 pack:1 numa:1 core:2 pu:1",
+		"Cluster#0 (link",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunLatencySuppressedOnLargeMachines(t *testing.T) {
+	var b strings.Builder
+	if err := run("pack:24 l3:1 core:8 pu:1", true, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "latency matrix suppressed") {
+		t.Error("large machine should suppress the latency matrix")
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,60 +23,75 @@ import (
 	"repro/internal/treematch"
 )
 
+// options collects the command's flag values, separated from flag parsing so
+// tests can drive run directly.
+type options struct {
+	topoSpec string
+	matrixF  string
+	stencil  string
+	ring     int
+	controls bool
+	dist     bool
+}
+
 func main() {
-	var (
-		topoSpec = flag.String("topo", "pack:4 core:4 pu:1", "topology spec (see internal/topology)")
-		matrixF  = flag.String("matrix", "", "communication matrix file")
-		stencil  = flag.String("stencil", "", "generate a BXxBY 8-neighbour stencil matrix, e.g. 16x12")
-		ring     = flag.Int("ring", 0, "generate an n-task ring matrix")
-		controls = flag.Bool("controls", false, "run the full Algorithm 1 with ORWL control threads")
-		dist     = flag.Bool("distribute", true, "spread tasks over NUMA nodes when resources are spare")
-	)
+	var opts options
+	flag.StringVar(&opts.topoSpec, "topo", "pack:4 core:4 pu:1", "topology spec (see internal/topology)")
+	flag.StringVar(&opts.matrixF, "matrix", "", "communication matrix file")
+	flag.StringVar(&opts.stencil, "stencil", "", "generate a BXxBY 8-neighbour stencil matrix, e.g. 16x12")
+	flag.IntVar(&opts.ring, "ring", 0, "generate an n-task ring matrix")
+	flag.BoolVar(&opts.controls, "controls", false, "run the full Algorithm 1 with ORWL control threads")
+	flag.BoolVar(&opts.dist, "distribute", true, "spread tasks over NUMA nodes when resources are spare")
 	flag.Parse()
 
-	topo, err := topology.FromSpec(*topoSpec)
-	if err != nil {
-		fatalf("%v", err)
+	if err := run(opts, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "treemap: %v\n", err)
+		os.Exit(1)
 	}
-	m, err := loadMatrix(*matrixF, *stencil, *ring)
+}
+
+// run computes and reports the mapping for the given options onto w.
+func run(opts options, w io.Writer) error {
+	topo, err := topology.FromSpec(opts.topoSpec)
 	if err != nil {
-		fatalf("%v", err)
+		return err
+	}
+	m, err := loadMatrix(opts.matrixF, opts.stencil, opts.ring)
+	if err != nil {
+		return err
 	}
 
 	tree, err := treematch.FromTopology(topo, topology.Core)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
-	fmt.Printf("topology: %s -> abstract %s (%d cores)\n", topo, tree, tree.Leaves())
-	fmt.Printf("matrix: order %d, total volume %.0f\n", m.Order(), m.TotalVolume())
+	fmt.Fprintf(w, "topology: %s -> abstract %s (%d cores)\n", topo, tree, tree.Leaves())
+	fmt.Fprintf(w, "matrix: order %d, total volume %.0f\n", m.Order(), m.TotalVolume())
 
-	opt := treematch.Options{Distribute: *dist}
-	if *controls {
-		smt := 1
-		if topo.SMT() {
-			smt = 2
-		}
-		res, err := treematch.Map(treematch.Target{Tree: tree, SMTWays: smt}, m, opt)
+	opt := treematch.Options{Distribute: opts.dist}
+	if opts.controls {
+		res, err := treematch.Map(treematch.Target{Tree: tree, SMTWays: topo.SMTWays()}, m, opt)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		fmt.Printf("control strategy: %s, virtual arity: %d\n", res.Strategy, res.VirtualArity)
+		fmt.Fprintf(w, "control strategy: %s, virtual arity: %d\n", res.Strategy, res.VirtualArity)
 		for i, core := range res.Assignment {
-			fmt.Printf("  %-12s -> core %-3d control -> %s\n", m.Label(i), core, coreName(res.Control[i]))
+			fmt.Fprintf(w, "  %-12s -> core %-3d control -> %s\n", m.Label(i), core, coreName(res.Control[i]))
 		}
-		reportCost(tree, m, res.Assignment)
-		return
+		reportCost(w, tree, m, res.Assignment)
+		return nil
 	}
 
 	mp, err := treematch.MapMatrix(tree, m, opt)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
-	fmt.Printf("virtual arity: %d\n", mp.VirtualArity)
+	fmt.Fprintf(w, "virtual arity: %d\n", mp.VirtualArity)
 	for i, core := range mp.Assignment {
-		fmt.Printf("  %-12s -> core %d (slot %d)\n", m.Label(i), core, mp.Slot[i])
+		fmt.Fprintf(w, "  %-12s -> core %d (slot %d)\n", m.Label(i), core, mp.Slot[i])
 	}
-	reportCost(tree, m, mp.Assignment)
+	reportCost(w, tree, m, mp.Assignment)
+	return nil
 }
 
 func loadMatrix(file, stencil string, ring int) (*comm.Matrix, error) {
@@ -105,10 +121,10 @@ func loadMatrix(file, stencil string, ring int) (*comm.Matrix, error) {
 	}
 }
 
-func reportCost(tree *treematch.Tree, m *comm.Matrix, assignment []int) {
+func reportCost(w io.Writer, tree *treematch.Tree, m *comm.Matrix, assignment []int) {
 	tm := treematch.Cost(tree, m, assignment)
 	rr := treematch.Cost(tree, m, treematch.RoundRobin(tree, m.Order()))
-	fmt.Printf("hop-weighted cost: treematch %.0f, round-robin %.0f (%.1f%% of baseline)\n",
+	fmt.Fprintf(w, "hop-weighted cost: treematch %.0f, round-robin %.0f (%.1f%% of baseline)\n",
 		tm, rr, 100*tm/rr)
 }
 
@@ -117,9 +133,4 @@ func coreName(c int) string {
 		return "OS"
 	}
 	return fmt.Sprintf("core %d", c)
-}
-
-func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "treemap: "+format+"\n", args...)
-	os.Exit(1)
 }

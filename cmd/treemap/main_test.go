@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		opts    options
+		wantErr string
+	}{
+		{"stencil ok", options{topoSpec: "pack:4 core:4 pu:1", stencil: "4x4", dist: true}, ""},
+		{"ring ok", options{topoSpec: "pack:2 core:4 pu:2", ring: 8, controls: true, dist: true}, ""},
+		{"no source", options{topoSpec: "pack:4 core:4 pu:1"}, "one of -matrix, -stencil, -ring is required"},
+		{"bad topo", options{topoSpec: "wat:3", ring: 4}, "unknown object kind"},
+		{"bad stencil shape", options{topoSpec: "pack:4 core:4 pu:1", stencil: "16"}, "bad -stencil"},
+		{"bad stencil numbers", options{topoSpec: "pack:4 core:4 pu:1", stencil: "0x4"}, "bad -stencil"},
+		{"missing matrix file", options{topoSpec: "pack:4 core:4 pu:1", matrixF: "/does/not/exist"}, "no such file"},
+		{"uneven topo rejected", options{topoSpec: "pack:3 core:2,1,1 pu:1", ring: 4}, "uneven topology"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			err := run(tc.opts, &b)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted invalid options, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunGoldenStencil(t *testing.T) {
+	var b strings.Builder
+	if err := run(options{topoSpec: "pack:4 core:4 pu:1", stencil: "4x4", dist: true}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"topology: Machine (4 Package, 4 NUMANode, 16 Core, 16 PU) -> abstract tree[4 4] (16 cores)",
+		"matrix: order 16, total volume 48360",
+		"virtual arity: 1",
+		"b(0,0)       -> core",
+		"hop-weighted cost: treematch",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// TreeMatch must beat round-robin on this stencil: the report ends with
+	// the ratio, which has to stay below 100%.
+	if !strings.Contains(out, "% of baseline)") {
+		t.Fatalf("missing cost report:\n%s", out)
+	}
+}
+
+func TestRunGoldenControls(t *testing.T) {
+	var b strings.Builder
+	if err := run(options{topoSpec: "pack:2 core:4 pu:2", ring: 8, controls: true, dist: true}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"control strategy: hyperthread, virtual arity: 1",
+		"control -> core",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMatrixFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.txt")
+	content := "# tiny ring\n3\n0 5 0\n5 0 5\n0 5 0\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(options{topoSpec: "pack:1 core:4 pu:1", matrixF: path, dist: true}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "matrix: order 3, total volume 20") {
+		t.Errorf("unexpected matrix report:\n%s", b.String())
+	}
+}

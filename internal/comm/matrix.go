@@ -196,6 +196,36 @@ func (m *Matrix) ExtendZero(order int) (*Matrix, error) {
 	return e, nil
 }
 
+// Submatrix returns the restriction of the matrix to the given entities, in
+// the given order: entry (a,b) of the result is the volume between
+// entities ids[a] and ids[b]. Labels follow. Indices must be in range and
+// distinct. Hierarchical placement uses this to carve one cluster node's
+// task set out of the global affinity matrix.
+func (m *Matrix) Submatrix(ids []int) (*Matrix, error) {
+	seen := make([]bool, m.n)
+	for _, e := range ids {
+		if e < 0 || e >= m.n {
+			return nil, fmt.Errorf("comm: submatrix: entity %d out of range [0,%d)", e, m.n)
+		}
+		if seen[e] {
+			return nil, fmt.Errorf("comm: submatrix: entity %d appears twice", e)
+		}
+		seen[e] = true
+	}
+	s := New(len(ids))
+	for a, i := range ids {
+		for b, j := range ids {
+			s.Set(a, b, m.At(i, j))
+		}
+	}
+	if m.labels != nil {
+		for a, i := range ids {
+			s.SetLabel(a, m.Label(i))
+		}
+	}
+	return s, nil
+}
+
 // MaxEntry returns the largest entry of the matrix (0 for an empty matrix).
 func (m *Matrix) MaxEntry() float64 {
 	var mx float64

@@ -1,0 +1,48 @@
+package comm
+
+import "testing"
+
+func TestSubmatrix(t *testing.T) {
+	m := New(4)
+	m.AddSym(0, 1, 10)
+	m.AddSym(1, 2, 20)
+	m.AddSym(2, 3, 30)
+	m.SetLabel(2, "two")
+
+	s, err := m.Submatrix([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Order() != 3 {
+		t.Fatalf("order %d, want 3", s.Order())
+	}
+	if got := s.At(0, 2); got != 20 { // (2,1) of the original
+		t.Errorf("At(0,2) = %v, want 20", got)
+	}
+	if got := s.At(1, 2); got != 10 { // (0,1) of the original
+		t.Errorf("At(1,2) = %v, want 10", got)
+	}
+	if got := s.At(0, 1); got != 0 { // (2,0) of the original
+		t.Errorf("At(0,1) = %v, want 0", got)
+	}
+	if s.Label(0) != "two" {
+		t.Errorf("label = %q, want %q", s.Label(0), "two")
+	}
+	if !s.IsSymmetric() {
+		t.Error("submatrix of a symmetric matrix is not symmetric")
+	}
+}
+
+func TestSubmatrixErrors(t *testing.T) {
+	m := New(3)
+	if _, err := m.Submatrix([]int{0, 3}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := m.Submatrix([]int{1, 1}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	s, err := m.Submatrix(nil)
+	if err != nil || s.Order() != 0 {
+		t.Errorf("empty selection: order=%d err=%v", s.Order(), err)
+	}
+}

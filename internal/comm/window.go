@@ -53,7 +53,7 @@ func (w *Window) Snapshot() *Matrix {
 // factor in (0,1) keeps a decayed memory of earlier epochs. Decay values
 // outside [0,1) are treated as 0.
 func (w *Window) Roll(decay float64) *Matrix {
-	if decay < 0 || decay >= 1 {
+	if !(decay >= 0 && decay < 1) { // coerces NaN too, not only out-of-range
 		decay = 0
 	}
 	w.mu.Lock()

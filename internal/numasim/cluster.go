@@ -1,0 +1,124 @@
+package numasim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Cluster is a simulated multi-machine cluster: a set of identical member
+// Machines joined by an interconnect fabric priced with per-link latency and
+// bandwidth. The cluster is simulated through a single fused Machine whose
+// topology carries a cluster level above the per-node trees, so that lock
+// handoffs and region pulls crossing a node boundary charge network cycles
+// instead of cache or memory cycles (see Machine.TransferCost). The member
+// Machines expose each node's shared-memory view for per-node placement
+// (hierarchical TreeMatch runs Algorithm 1 on one member's topology).
+type Cluster struct {
+	fused   *Machine
+	members []*Machine
+	fabric  Fabric
+}
+
+// Fabric describes the cluster interconnect. Zero fields take the defaults
+// of topology.DefaultAttrs (a 2016-era 10-Gigabit-Ethernet class network).
+type Fabric struct {
+	// LinkLatencyCycles is the latency of one fabric link in CPU cycles; a
+	// message between two nodes of a flat cluster traverses two links.
+	LinkLatencyCycles float64
+	// LinkBandwidthBytesPerSec is the bandwidth of one fabric link.
+	LinkBandwidthBytesPerSec float64
+}
+
+// NewCluster builds a cluster of n identical machines, each described by
+// nodeSpec (a single-machine topology spec; it must not itself contain a
+// cluster level). The fused simulation machine is built over the spec
+// "cluster:n nodeSpec" with the fabric's link attributes on the cluster
+// level.
+func NewCluster(n int, nodeSpec string, fabric Fabric, cfg Config) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("numasim: cluster needs at least 1 node, got %d", n)
+	}
+	def := topology.DefaultAttrs()
+	if fabric.LinkLatencyCycles > 0 {
+		def.NetLatencyCycles = fabric.LinkLatencyCycles
+	}
+	if fabric.LinkBandwidthBytesPerSec > 0 {
+		def.NetBandwidth = fabric.LinkBandwidthBytesPerSec
+	}
+	fabric = Fabric{def.NetLatencyCycles, def.NetBandwidth}
+
+	member, err := topology.FromSpecAttrs(nodeSpec, def)
+	if err != nil {
+		return nil, fmt.Errorf("numasim: cluster node spec: %w", err)
+	}
+	if len(member.ClusterNodes()) > 0 {
+		return nil, fmt.Errorf("numasim: node spec %q already contains a cluster level", nodeSpec)
+	}
+	fusedTopo, err := topology.FromSpecAttrs(fmt.Sprintf("cluster:%d %s", n, member.Spec()), def)
+	if err != nil {
+		return nil, fmt.Errorf("numasim: fused cluster spec: %w", err)
+	}
+	fused, err := New(fusedTopo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{fused: fused, fabric: fabric}
+	for i := 0; i < n; i++ {
+		mm, err := New(member, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.members = append(c.members, mm)
+		if i+1 < n {
+			// Each member gets its own topology instance so per-node state
+			// (accessors, bound Procs) stays independent.
+			member, err = topology.FromSpecAttrs(member.Spec(), def)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// ClusterFromSpec builds a cluster from a full cluster topology spec such as
+// "node:4 pack:2 core:8" or "cluster:2 core:16". A spec without a cluster
+// level yields a single-node cluster.
+func ClusterFromSpec(spec string, fabric Fabric, cfg Config) (*Cluster, error) {
+	t, err := topology.FromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	n := t.NumClusterNodes()
+	nodeSpec := t.Spec()
+	if len(t.ClusterNodes()) > 0 {
+		// Strip the leading "cluster:N" token of the normalized spec to
+		// recover the per-node machine spec.
+		fields := strings.Fields(nodeSpec)
+		if strings.Contains(fields[0], ",") {
+			return nil, fmt.Errorf("numasim: uneven cluster level %q is not supported", fields[0])
+		}
+		nodeSpec = strings.Join(fields[1:], " ")
+	}
+	return NewCluster(n, nodeSpec, fabric, cfg)
+}
+
+// Machine returns the fused cluster-wide simulation machine the runtime
+// executes on: PUs, cores and NUMA nodes of all members in left-to-right
+// order, with fabric-priced cross-node costs.
+func (c *Cluster) Machine() *Machine { return c.fused }
+
+// Nodes returns the number of cluster nodes.
+func (c *Cluster) Nodes() int { return len(c.members) }
+
+// Node returns the i-th member machine: the shared-memory view of one
+// cluster node, used for per-node placement.
+func (c *Cluster) Node(i int) *Machine { return c.members[i] }
+
+// Fabric returns the effective interconnect parameters.
+func (c *Cluster) Fabric() Fabric { return c.fabric }
+
+// NodeOfPU returns the cluster-node index owning a fused-machine PU.
+func (c *Cluster) NodeOfPU(pu int) int { return c.fused.ClusterNodeOfPU(pu) }

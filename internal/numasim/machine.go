@@ -105,6 +105,11 @@ type Machine struct {
 	nodeOf []int
 	// coreOf[pu] is the core index of each PU.
 	coreOf []int
+	// cnodeOf[pu] is the cluster-node index of each PU (0 on a single
+	// machine).
+	cnodeOf []int
+	// cnodeOfNUMA[node] is the cluster-node index of each NUMA node.
+	cnodeOfNUMA []int
 	// l3Share[pu] is the slice of the innermost shared cache a PU can count
 	// on, in bytes (cache size / PUs sharing it).
 	l3Share []int64
@@ -117,6 +122,11 @@ type Machine struct {
 	// inter-socket fabric in steady state; they share
 	// cfg.InterconnectBandwidth.
 	remoteStreams int
+	// fabricStreams is the static number of streams crossing cluster-node
+	// boundaries in steady state; each network link's bandwidth is shared
+	// among them (the NIC and switch ports are the cluster's scarce
+	// resource).
+	fabricStreams int
 	// boundPerPU counts bound Procs per PU. SMT compute inflation applies
 	// when at least two PUs of the same core are occupied (hyperthread
 	// sharing); several Procs time-multiplexed on one PU do not inflate —
@@ -136,15 +146,17 @@ func New(topo *topology.Topology, cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("numasim: invalid topology: %w", err)
 	}
 	m := &Machine{
-		topo:       topo,
-		cfg:        cfg.withDefaults(),
-		clockHz:    topo.Root().Attr.ClockHz,
-		nodeOf:     make([]int, topo.NumPUs()),
-		coreOf:     make([]int, topo.NumPUs()),
-		l3Share:    make([]int64, topo.NumPUs()),
-		accessors:  make([]int, topo.NumNUMANodes()),
-		boundPerPU: make([]int, topo.NumPUs()),
-		pusOfCore:  make([][]int, topo.NumCores()),
+		topo:        topo,
+		cfg:         cfg.withDefaults(),
+		clockHz:     topo.Root().Attr.ClockHz,
+		nodeOf:      make([]int, topo.NumPUs()),
+		coreOf:      make([]int, topo.NumPUs()),
+		cnodeOf:     make([]int, topo.NumPUs()),
+		cnodeOfNUMA: make([]int, topo.NumNUMANodes()),
+		l3Share:     make([]int64, topo.NumPUs()),
+		accessors:   make([]int, topo.NumNUMANodes()),
+		boundPerPU:  make([]int, topo.NumPUs()),
+		pusOfCore:   make([][]int, topo.NumCores()),
 	}
 	if m.clockHz == 0 {
 		m.clockHz = 2.27e9
@@ -155,6 +167,14 @@ func New(topo *topology.Topology, cfg Config) (*Machine, error) {
 		m.coreOf[i] = core
 		m.pusOfCore[core] = append(m.pusOfCore[core], i)
 		m.l3Share[i] = cacheShare(topo, pu)
+		if c := topo.ClusterNodeOf(pu); c != nil {
+			m.cnodeOf[i] = c.LevelIndex
+		}
+	}
+	for n, node := range topo.NUMANodes() {
+		if c := topo.ClusterNodeOf(node); c != nil {
+			m.cnodeOfNUMA[n] = c.LevelIndex
+		}
 	}
 	for i := range m.accessors {
 		m.accessors[i] = 1
@@ -222,13 +242,14 @@ func (m *Machine) Accessors(node int) int {
 }
 
 // ResetAccessors restores every node to contention degree 1 and clears the
-// remote-stream count.
+// remote-stream and fabric-stream counts.
 func (m *Machine) ResetAccessors() {
 	m.mu.Lock()
 	for i := range m.accessors {
 		m.accessors[i] = 1
 	}
 	m.remoteStreams = 0
+	m.fabricStreams = 0
 	m.mu.Unlock()
 }
 
@@ -252,18 +273,78 @@ func (m *Machine) RemoteStreams() int {
 	return m.remoteStreams
 }
 
+// SetFabricStreams declares how many streams cross cluster-node boundaries
+// in steady state; each crossing stream sustains an equal share of the
+// network link bandwidth. Placement code derives this from the task layout
+// and affinity matrix (see placement.SetContention); 0 disables the cap. A
+// no-op concern on single-machine topologies, where nothing crosses.
+func (m *Machine) SetFabricStreams(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.mu.Lock()
+	m.fabricStreams = n
+	m.mu.Unlock()
+}
+
+// FabricStreams returns the declared cluster-fabric contention degree.
+func (m *Machine) FabricStreams() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fabricStreams
+}
+
+// ClusterNodeOfPU returns the cluster-node index of a PU (0 on a single
+// machine).
+func (m *Machine) ClusterNodeOfPU(pu int) int { return m.cnodeOf[pu] }
+
+// ClusterNodeOfNode returns the cluster-node index of a NUMA node (0 on a
+// single machine).
+func (m *Machine) ClusterNodeOfNode(node int) int { return m.cnodeOfNUMA[node] }
+
+// fabricLinkCycles returns the per-transfer fabric price between two cluster
+// nodes: the accumulated per-link latency in cycles and the bottleneck link
+// bandwidth in bytes per cycle. Both cluster-node indices must differ.
+func (m *Machine) fabricLinkCycles(fromC, toC int) (latency, bytesPerCycle float64) {
+	cn := m.topo.ClusterNodes()
+	a, b := cn[fromC], cn[toC]
+	// A message traverses one link per tree hop between the two cluster
+	// nodes (2 on a flat, single-switch fabric).
+	hops := m.topo.HopDistance(a, b)
+	latency = a.Attr.LatencyCycles * float64(hops)
+	bw := a.Attr.BandwidthBytesPerSec
+	if b.Attr.BandwidthBytesPerSec < bw {
+		bw = b.Attr.BandwidthBytesPerSec
+	}
+	return latency, bw / m.clockHz
+}
+
 // effectiveBandwidth returns the bytes/second a stream on pu can sustain
 // from the given node: the node's bandwidth divided by its contention
 // degree; remote streams are further capped by the hop-degraded link
-// bandwidth and by their share of the interconnect fabric.
+// bandwidth and by their share of the interconnect fabric. A stream that
+// crosses a cluster-node boundary is capped by the network link bandwidth
+// instead of the SMP interconnect model.
 func (m *Machine) effectiveBandwidth(pu, node int) float64 {
 	nodeObj := m.topo.NUMANodes()[node]
 	m.mu.Lock()
 	acc := m.accessors[node]
 	remote := m.remoteStreams
+	fabric := m.fabricStreams
 	m.mu.Unlock()
 	bw := nodeObj.Attr.BandwidthBytesPerSec / float64(acc)
 	if m.nodeOf[pu] == node {
+		return bw
+	}
+	if m.cnodeOf[pu] != m.cnodeOfNUMA[node] {
+		_, linkBPC := m.fabricLinkCycles(m.cnodeOf[pu], m.cnodeOfNUMA[node])
+		link := linkBPC * m.clockHz
+		if fabric > 1 {
+			link /= float64(fabric)
+		}
+		if link < bw {
+			bw = link
+		}
 		return bw
 	}
 	if link := m.topo.BandwidthBytesPerSec(m.topo.PU(pu), nodeObj); link < bw {
@@ -277,13 +358,20 @@ func (m *Machine) effectiveBandwidth(pu, node int) float64 {
 	return bw
 }
 
-// memLatencyCycles returns the access latency from a PU to a node.
+// memLatencyCycles returns the access latency from a PU to a node. Crossing
+// a cluster-node boundary charges the fabric's per-link latency on top of
+// the target node's memory latency (network cycles instead of the ccNUMA
+// hop penalty).
 func (m *Machine) memLatencyCycles(pu, node int) float64 {
 	local := m.topo.NUMANodes()[m.nodeOf[pu]]
 	target := m.topo.NUMANodes()[node]
 	base := target.Attr.LatencyCycles
 	if local == target {
 		return base
+	}
+	if m.cnodeOf[pu] != m.cnodeOfNUMA[node] {
+		lat, _ := m.fabricLinkCycles(m.cnodeOf[pu], m.cnodeOfNUMA[node])
+		return base + lat
 	}
 	hops := m.topo.HopDistance(local, target)
 	return base * (1 + float64(hops)/2)
@@ -309,7 +397,11 @@ func (m *Machine) memCostCycles(pu, node int, bytes float64) float64 {
 //   - same PU: free (data already in the local cache);
 //   - PUs under a shared cache: that cache's latency plus on-chip bandwidth;
 //   - same NUMA node: one memory round through the local node;
-//   - remote: one memory round priced at the remote distance.
+//   - remote: one memory round priced at the remote distance;
+//   - across a cluster-node boundary: the remote round charges network
+//     cycles — per-link fabric latency plus streaming at the link bandwidth
+//     — instead of cache or ccNUMA memory cycles (see memLatencyCycles and
+//     effectiveBandwidth).
 func (m *Machine) TransferCost(fromPU, toPU int, bytes float64) float64 {
 	if fromPU == toPU {
 		return 0

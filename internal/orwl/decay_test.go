@@ -1,0 +1,26 @@
+package orwl
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestConfigureEpochsDecayValidation: decay outside [0,1) used to be
+// silently coerced to 0 by comm.Window.Roll, turning "never forget" (1.0)
+// into "forget everything"; ConfigureEpochs now rejects it up front.
+func TestConfigureEpochsDecayValidation(t *testing.T) {
+	for _, bad := range []float64{1, 2, -0.5, math.NaN()} {
+		rt := NewRuntime(Options{})
+		err := rt.ConfigureEpochs(1, bad, nil)
+		if err == nil || !strings.Contains(err.Error(), "decay") {
+			t.Errorf("decay %v: error = %v, want decay validation", bad, err)
+		}
+	}
+	for _, ok := range []float64{0, 0.25, 0.999} {
+		rt := NewRuntime(Options{})
+		if err := rt.ConfigureEpochs(1, ok, nil); err != nil {
+			t.Errorf("decay %v rejected: %v", ok, err)
+		}
+	}
+}

@@ -51,11 +51,18 @@ type epochState struct {
 // window rolls with the given decay factor (0 = hard reset per epoch; see
 // comm.Window). Must be called before Run.
 //
+// The decay must lie in [0,1): comm.Window.Roll coerces anything else to 0,
+// so a caller passing 1.0 ("never forget") would silently get a full reset
+// — the opposite semantics. That foot-gun is rejected here instead.
+//
 // Epoch-enabled programs must be uniform: every task calls EndIteration
 // once per iteration, holding no lock grants at that point.
 func (rt *Runtime) ConfigureEpochs(interval int, decay float64, hook func(*Epoch)) error {
 	if interval < 1 {
 		return fmt.Errorf("orwl: epoch interval %d must be at least 1", interval)
+	}
+	if !(decay >= 0 && decay < 1) { // rejects NaN too
+		return fmt.Errorf("orwl: window decay %v outside [0,1): 0 resets the window per epoch, a factor below 1 keeps a decayed memory; 1 (never forget) is the unbounded MeasuredCommMatrix, not a window", decay)
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()

@@ -27,7 +27,8 @@ type AdaptiveOptions struct {
 	Hysteresis float64
 	// WindowDecay is the comm.Window decay factor: 0 resets the observation
 	// window every epoch, a factor in (0,1) keeps an exponentially decayed
-	// memory of earlier epochs.
+	// memory of earlier epochs. Values outside [0,1) are rejected by
+	// PlaceAdaptive.
 	WindowDecay float64
 	// FreeMigration applies every strictly improving candidate without
 	// charging migration: the oracle configuration, an upper bound on what
@@ -85,6 +86,9 @@ func PlaceAdaptive(rt *orwl.Runtime, opts AdaptiveOptions) (*AdaptiveEngine, err
 	}
 	if opts.EpochIters < 1 {
 		return nil, fmt.Errorf("placement: adaptive EpochIters %d must be at least 1", opts.EpochIters)
+	}
+	if !(opts.WindowDecay >= 0 && opts.WindowDecay < 1) { // rejects NaN too
+		return nil, fmt.Errorf("placement: adaptive WindowDecay %v outside [0,1)", opts.WindowDecay)
 	}
 	if opts.Base == nil {
 		opts.Base = TreeMatch{}
@@ -152,6 +156,14 @@ func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
 	for id, pu := range cand.TaskPU {
 		if pu != e.current[id] {
 			migCost += e.mach.MigrationCostCycles(e.current[id], pu, e.migrateBytes[id])
+		}
+		// Control-thread rebinds are applied below, so they must be priced
+		// here too: a control thread carries no working set, but the OS
+		// still pays the migration penalty to move it. Summing only the
+		// computation-thread moves underpriced candidates that shuffle many
+		// control threads.
+		if isLive[id] && cand.ControlPU[id] != e.currentCtl[id] {
+			migCost += e.mach.Config().MigrationPenaltyCycles
 		}
 	}
 	threshold := e.opts.Hysteresis * migCost

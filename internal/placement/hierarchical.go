@@ -1,0 +1,148 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/numasim"
+	"repro/internal/topology"
+	"repro/internal/treematch"
+)
+
+// Hierarchical is the two-level placement policy for clustered machines:
+// the task graph is first partitioned across the cluster nodes with a cut-
+// minimizing grouping (treematch.PartitionAcross) — every cut byte crosses
+// the interconnect fabric, so the node-level cut dominates the cost — and
+// the ordinary Algorithm 1 then maps each node's task group onto that
+// node's intra-machine tree from the group's sub-matrix. On a machine
+// without a cluster level it degrades to the plain TreeMatch policy.
+//
+// Compared with running flat TreeMatch on the whole cluster tree, the
+// explicit top split optimizes the fabric cut directly instead of letting it
+// emerge from bottom-up core-level grouping, and keeps the per-node
+// instances small.
+type Hierarchical struct {
+	// Options tunes the underlying grouping heuristic at both levels.
+	Options treematch.Options
+	// NoDistribute disables the per-node NUMA distribution step, mirroring
+	// TreeMatch.NoDistribute.
+	NoDistribute bool
+}
+
+// Name implements Policy.
+func (Hierarchical) Name() string { return "hierarchical" }
+
+// Assign implements Policy.
+func (p Hierarchical) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment, error) {
+	if mach == nil {
+		return nil, fmt.Errorf("placement: hierarchical requires a machine")
+	}
+	topo := mach.Topology()
+	nodes := len(topo.ClusterNodes())
+	if nodes <= 1 {
+		a, err := TreeMatch{Options: p.Options, NoDistribute: p.NoDistribute}.Assign(mach, m)
+		if err != nil {
+			return nil, err
+		}
+		a.Policy = p.Name()
+		return a, nil
+	}
+
+	nodeTree, err := treematch.NodeSubtree(topo, topology.Core)
+	if err != nil {
+		return nil, err
+	}
+	coresPerNode := topo.NumCores() / nodes
+
+	// Level 1: split the task graph across the cluster nodes, minimizing
+	// the volume that must cross the fabric. Group g runs on node g: on a
+	// uniform single-switch fabric every assignment of groups to nodes
+	// prices identically, so the identity keeps the result deterministic.
+	groups, err := treematch.PartitionAcross(m, nodes, p.Options)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &Assignment{
+		Policy:       p.Name(),
+		TaskPU:       make([]int, m.Order()),
+		ControlPU:    make([]int, m.Order()),
+		Strategy:     treematch.ControlHyperthread,
+		VirtualArity: 1,
+	}
+	opts := p.Options
+	opts.Distribute = !p.NoDistribute
+	ways := topo.SMTWays()
+	nonEmpty := 0
+	for g, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		// Level 2: the ordinary Algorithm 1 on this node's sub-matrix and
+		// intra-machine tree, including the control-thread adaptation.
+		sub, err := m.Submatrix(group)
+		if err != nil {
+			return nil, err
+		}
+		res, err := treematch.Map(treematch.Target{Tree: nodeTree, SMTWays: ways}, sub, opts)
+		if err != nil {
+			return nil, fmt.Errorf("placement: hierarchical node %d: %w", g, err)
+		}
+		for local, task := range group {
+			core := g*coresPerNode + res.Assignment[local]
+			a.TaskPU[task] = firstPU(topo, core)
+			switch {
+			case res.Control[local] < 0:
+				a.ControlPU[task] = -1
+			case res.Strategy == treematch.ControlHyperthread:
+				a.ControlPU[task] = secondPU(topo, g*coresPerNode+res.Control[local])
+			default:
+				a.ControlPU[task] = firstPU(topo, g*coresPerNode+res.Control[local])
+			}
+		}
+		// Nodes of different sizes may resolve the control threads
+		// differently; report the most conservative strategy in force on
+		// any node (hyperthread < spare-cores < unmapped), so the summary
+		// never overstates what the bindings deliver.
+		nonEmpty++
+		if res.Strategy > a.Strategy {
+			a.Strategy = res.Strategy
+		}
+		if res.VirtualArity > a.VirtualArity {
+			a.VirtualArity = res.VirtualArity
+		}
+	}
+	if nonEmpty == 0 {
+		a.Strategy = treematch.ControlUnmapped
+	}
+	return a, nil
+}
+
+// RoundRobinNodes deals tasks across the cluster nodes round-robin:
+// consecutive tasks land on different nodes, the affinity-blind cluster
+// baseline (the multi-node analogue of Scatter). Within a node, cores fill
+// sequentially. Control threads are left to the OS.
+type RoundRobinNodes struct{}
+
+// Name implements Policy.
+func (RoundRobinNodes) Name() string { return "rr-nodes" }
+
+// Assign implements Policy.
+func (RoundRobinNodes) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment, error) {
+	if mach == nil {
+		return nil, fmt.Errorf("placement: rr-nodes requires a machine")
+	}
+	topo := mach.Topology()
+	nodes := topo.NumClusterNodes()
+	cores := topo.NumCores()
+	coresPerNode := cores / nodes
+	a := unboundControls(m.Order(), "rr-nodes")
+	for i := range a.TaskPU {
+		node := i % nodes
+		slot := i / nodes
+		core := node*coresPerNode + slot%coresPerNode
+		a.TaskPU[i] = firstPU(topo, core)
+	}
+	a.VirtualArity = (m.Order() + cores - 1) / cores
+	return a, nil
+}

@@ -89,13 +89,11 @@ func (p TreeMatch) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment, e
 	if err != nil {
 		return nil, err
 	}
-	smtWays := 1
-	if topo.SMT() {
-		smtWays = len(topo.Cores()[0].Children)
-	}
 	opts := p.Options
 	opts.Distribute = !p.NoDistribute
-	res, err := treematch.Map(treematch.Target{Tree: tree, SMTWays: smtWays}, m, opts)
+	// The per-core minimum (not the first core's fan-out) decides whether
+	// hyperthread pairing is available: see topology.SMTWays.
+	res, err := treematch.Map(treematch.Target{Tree: tree, SMTWays: topo.SMTWays()}, m, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -326,4 +324,31 @@ func SetContention(mach *numasim.Machine, a *Assignment, heavy []bool) {
 		remote = unbound * (nodes - 1) / nodes
 	}
 	mach.SetRemoteStreams(remote)
+}
+
+// SetFabricContention derives the cluster-fabric contention from an
+// assignment and the program's affinity matrix: every task that exchanges
+// volume with a task placed on another cluster node contributes one stream
+// crossing the network, and all crossing streams share the link bandwidth
+// (see numasim.Machine.SetFabricStreams). An unbound task on a multi-node
+// machine roams and is counted as crossing. A no-op on single-machine
+// topologies.
+func SetFabricContention(mach *numasim.Machine, a *Assignment, m *comm.Matrix) {
+	if mach.Topology().NumClusterNodes() <= 1 {
+		return
+	}
+	streams := 0
+	for i := 0; i < m.Order() && i < len(a.TaskPU); i++ {
+		for j := 0; j < m.Order() && j < len(a.TaskPU); j++ {
+			if i == j || m.At(i, j)+m.At(j, i) == 0 {
+				continue
+			}
+			pi, pj := a.TaskPU[i], a.TaskPU[j]
+			if pi < 0 || pj < 0 || mach.ClusterNodeOfPU(pi) != mach.ClusterNodeOfPU(pj) {
+				streams++
+				break
+			}
+		}
+	}
+	mach.SetFabricStreams(streams)
 }

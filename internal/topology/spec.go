@@ -22,6 +22,13 @@ type Defaults struct {
 	MemBandwidth float64
 	// LinkBandwidth is the per-hop interconnect bandwidth in bytes/second.
 	LinkBandwidth float64
+	// NetLatencyCycles is the per-link latency of the cluster fabric in
+	// cycles; a message between two cluster nodes traverses two links (node
+	// to switch, switch to node).
+	NetLatencyCycles float64
+	// NetBandwidth is the per-link bandwidth of the cluster fabric in
+	// bytes/second.
+	NetBandwidth float64
 }
 
 // DefaultAttrs returns physical constants plausible for the 2016-era large
@@ -40,6 +47,13 @@ func DefaultAttrs() Defaults {
 		MemLatencyCycles: 250,
 		MemBandwidth:     7e9,
 		LinkBandwidth:    6e9,
+		// 2016-era 10-Gigabit-Ethernet-class cluster fabric: ~1.8 µs per
+		// link (≈ 4000 cycles at 2.27 GHz) and 1.25 GB/s per link — an
+		// order of magnitude above remote-memory latency and below
+		// local-memory bandwidth, so crossing a node boundary costs
+		// decisively more than any intra-machine path.
+		NetLatencyCycles: 4000,
+		NetBandwidth:     1.25e9,
 	}
 }
 
@@ -69,6 +83,7 @@ func (l specLevel) total(nParents int) (int, error) {
 
 var kindTokens = map[string]Kind{
 	"machine": Machine,
+	"cluster": Cluster,
 	"group":   Group,
 	"pack":    Package,
 	"socket":  Package,
@@ -114,19 +129,31 @@ func FromSpec(spec string) (*Topology, error) {
 //
 // A "core" level is likewise required and inserted (count 1) above the PUs
 // when missing. The machine root itself must not appear in the spec.
+//
+// A cluster of machines is expressed with a leading cluster level:
+//
+//	cluster:4 pack:2 core:8    four 16-core machines on a network fabric
+//	node:4 pack:2 core:8       the same (leading "node" before a group or
+//	                           package level denotes the cluster level)
+//
+// The spelling "node" normally denotes a NUMA node; it is promoted to the
+// cluster level only when it is the first token and a group or package level
+// follows (a NUMA level above sockets would be ill-ordered, so the
+// reinterpretation is unambiguous and backwards compatible).
 func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 	fields := strings.Fields(spec)
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("topology: empty spec")
 	}
 	var levels []specLevel
-	seen := map[Kind]bool{}
+	var names []string
 	for _, f := range fields {
 		parts := strings.SplitN(f, ":", 2)
 		if len(parts) != 2 {
 			return nil, fmt.Errorf("topology: token %q is not of the form kind:count", f)
 		}
-		kind, ok := kindTokens[strings.ToLower(parts[0])]
+		name := strings.ToLower(parts[0])
+		kind, ok := kindTokens[name]
 		if !ok {
 			return nil, fmt.Errorf("topology: unknown object kind %q", parts[0])
 		}
@@ -141,14 +168,23 @@ func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 			}
 			counts = append(counts, n)
 		}
-		if seen[kind] {
-			return nil, fmt.Errorf("topology: kind %v appears twice", kind)
-		}
-		seen[kind] = true
 		levels = append(levels, specLevel{kind, counts})
+		names = append(names, name)
+	}
+	// Promote a leading "node" to the cluster level when a group or package
+	// token follows: "node:4 pack:2 core:8" describes a 4-machine cluster.
+	if names[0] == "node" && len(levels) > 1 && levels[1].kind < NUMANode {
+		levels[0].kind = Cluster
+	}
+	seen := map[Kind]bool{}
+	for _, l := range levels {
+		if seen[l.kind] {
+			return nil, fmt.Errorf("topology: kind %v appears twice", l.kind)
+		}
+		seen[l.kind] = true
 	}
 	if !sort.SliceIsSorted(levels, func(i, j int) bool { return levels[i].kind < levels[j].kind }) {
-		return nil, fmt.Errorf("topology: kinds must appear in root-to-leaf order (machine, group, pack, numa, l3, l2, l1, core, pu)")
+		return nil, fmt.Errorf("topology: kinds must appear in root-to-leaf order (machine, cluster, group, pack, numa, l3, l2, l1, core, pu)")
 	}
 	levels = normalize(levels)
 
@@ -202,7 +238,7 @@ func normalize(levels []specLevel) []specLevel {
 // canonicalSpec renders the normalized levels back into a spec string.
 func canonicalSpec(levels []specLevel) string {
 	names := map[Kind]string{
-		Group: "group", Package: "pack", NUMANode: "numa",
+		Cluster: "cluster", Group: "group", Package: "pack", NUMANode: "numa",
 		L3: "l3", L2: "l2", L1: "l1", Core: "core", PU: "pu",
 	}
 	parts := make([]string, len(levels))
@@ -258,6 +294,11 @@ func attrFor(k Kind, def Defaults) Attr {
 		}
 	case Group:
 		return Attr{BandwidthBytesPerSec: def.LinkBandwidth}
+	case Cluster:
+		return Attr{
+			LatencyCycles:        def.NetLatencyCycles,
+			BandwidthBytesPerSec: def.NetBandwidth,
+		}
 	default:
 		return Attr{}
 	}

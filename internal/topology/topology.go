@@ -33,6 +33,12 @@ type Kind int
 const (
 	// Machine is the root of every topology.
 	Machine Kind = iota
+	// Cluster is a cluster node: one shared-memory machine of a simulated
+	// multi-machine cluster. PUs under different Cluster objects do not share
+	// memory; data crossing the boundary travels over the interconnect
+	// fabric, whose per-link latency and bandwidth the Cluster objects carry
+	// in their Attr.
+	Cluster
 	// Group is an intermediate structural level (e.g. a board or blade in a
 	// large SMP such as the 24-socket machine of the paper).
 	Group
@@ -54,6 +60,7 @@ const (
 
 var kindNames = [numKinds]string{
 	Machine:  "Machine",
+	Cluster:  "Cluster",
 	Group:    "Group",
 	Package:  "Package",
 	NUMANode: "NUMANode",
@@ -136,12 +143,13 @@ func (o *Object) Ancestor(k Kind) *Object {
 // All exported query methods are safe for concurrent use once the topology
 // has been built.
 type Topology struct {
-	root   *Object
-	levels [][]*Object // levels[d] lists the objects at depth d
-	pus    []*Object
-	cores  []*Object
-	numa   []*Object
-	spec   string // the normalized spec the topology was built from
+	root     *Object
+	levels   [][]*Object // levels[d] lists the objects at depth d
+	pus      []*Object
+	cores    []*Object
+	numa     []*Object
+	clusters []*Object
+	spec     string // the normalized spec the topology was built from
 }
 
 // Root returns the Machine object at the root of the tree.
@@ -224,10 +232,57 @@ func (t *Topology) NumNUMANodes() int { return len(t.numa) }
 // its nearest NUMANode ancestor. Every PU of a well-formed topology has one.
 func (t *Topology) NUMANodeOf(o *Object) *Object { return o.Ancestor(NUMANode) }
 
+// ClusterNodes returns the cluster nodes in left-to-right order, or an empty
+// slice on a single-machine topology.
+func (t *Topology) ClusterNodes() []*Object { return t.clusters }
+
+// NumClusterNodes returns the number of cluster nodes; a topology without a
+// cluster level is one machine and reports 1.
+func (t *Topology) NumClusterNodes() int {
+	if len(t.clusters) == 0 {
+		return 1
+	}
+	return len(t.clusters)
+}
+
+// ClusterNodeOf returns the cluster node the object belongs to, or nil on a
+// single-machine topology.
+func (t *Topology) ClusterNodeOf(o *Object) *Object { return o.Ancestor(Cluster) }
+
+// SameClusterNode reports whether both objects sit in the same shared-memory
+// machine: always true on a single-machine topology, and true on a clustered
+// one exactly when the objects share a Cluster ancestor.
+func (t *Topology) SameClusterNode(a, b *Object) bool {
+	if len(t.clusters) == 0 {
+		return true
+	}
+	ca, cb := t.ClusterNodeOf(a), t.ClusterNodeOf(b)
+	return ca != nil && ca == cb
+}
+
 // SMT reports whether the topology has hyperthreading, i.e. cores with more
 // than one PU.
 func (t *Topology) SMT() bool {
 	return len(t.cores) > 0 && len(t.cores[0].Children) > 1
+}
+
+// SMTWays returns the number of hyperthreads per core a consumer may rely
+// on: the minimum fan-out over all cores (1 on a machine without
+// hyperthreading). On uneven-SMT topologies (expressible via specs like
+// "core:2 pu:2,1") reading only the first core would misreport capacity and
+// let placement pair control threads onto hyperthreads that do not exist;
+// the minimum guarantees every core really has that many threads.
+func (t *Topology) SMTWays() int {
+	ways := 0
+	for _, c := range t.cores {
+		if ways == 0 || len(c.Children) < ways {
+			ways = len(c.Children)
+		}
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	return ways
 }
 
 // LCA returns the lowest common ancestor of a and b. Both objects must
@@ -369,6 +424,8 @@ func build(root *Object, spec string) *Topology {
 			t.cores = lv
 		case NUMANode:
 			t.numa = lv
+		case Cluster:
+			t.clusters = lv
 		}
 	}
 	return t

@@ -1,10 +1,197 @@
 package treematch
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/comm"
 )
+
+// PartitionAcross partitions the entities of the matrix into k groups of
+// equal capacity ceil(p/k), minimizing the communication volume cut between
+// groups. This is the top stage of hierarchical two-level placement: the
+// groups become the per-cluster-node task sets, so the cut is exactly the
+// traffic that must cross the interconnect fabric. The matrix is padded with
+// zero-volume virtual entities up to k·ceil(p/k) internally; padding is
+// stripped from the result, so the last groups may come back smaller. Group
+// order is deterministic.
+//
+// No single grouping heuristic wins on every task graph: greedy k-way
+// seeding snakes through lattices, recursive bisection commits to a split
+// axis it cannot revisit, and pairwise-swap refinement only polishes local
+// optima. The partitioner therefore computes three deterministic candidates
+// — direct k-way grouping, recursive bisection, and multilevel coarsening
+// (pair, aggregate, partition the coarse graph, expand) — KL-refines each at
+// the fine level, and keeps the one with the smallest cut, measured exactly.
+func PartitionAcross(m *comm.Matrix, k int, opt Options) ([][]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("treematch: PartitionAcross needs at least 1 group, got %d", k)
+	}
+	p := m.Order()
+	if p == 0 {
+		return make([][]int, k), nil
+	}
+	per := (p + k - 1) / k
+	work := m
+	if per*k > p {
+		var err error
+		work, err = m.ExtendZero(per * k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The node-level cut is the expensive one (every cut byte crosses the
+	// network), so refinement always runs here even when per-core grouping
+	// of a matrix this size would skip it.
+	passes := opt.refinePasses(0)
+
+	var best [][]int
+	bestIntra := -1.0
+	bestStreams := 0
+	consider := func(groups [][]int, err error) error {
+		if err != nil {
+			return err
+		}
+		if passes > 0 && k > 1 && per > 1 {
+			refineGroups(work, groups, passes)
+		}
+		// Maximum intra-group volume == minimum cut (the total is fixed).
+		// Among equal cuts, prefer the partition in which fewer entities
+		// touch the cut at all: every crossing entity is one more stream
+		// contending for the fabric links.
+		v := intraVolume(work, groups)
+		s := crossingEntities(work, groups)
+		if v > bestIntra || (v == bestIntra && s < bestStreams) {
+			bestIntra, bestStreams = v, s
+			best = groups
+		}
+		return nil
+	}
+	// Refinement is centralized in consider, so the direct candidate is
+	// built unrefined (GroupProcesses would otherwise run the same KL
+	// passes a second time).
+	if err := consider(GroupProcesses(work, per, 0), nil); err != nil {
+		return nil, err
+	}
+	// For odd k the bisection degenerates to the direct k-way grouping at
+	// its top level, so the candidate would be a duplicate.
+	if k%2 == 0 {
+		ids := make([]int, work.Order())
+		for i := range ids {
+			ids[i] = i
+		}
+		if err := consider(bisectPartition(work, ids, k, passes)); err != nil {
+			return nil, err
+		}
+	}
+	if err := consider(coarsenPartition(work, k, passes)); err != nil {
+		return nil, err
+	}
+
+	out := make([][]int, k)
+	for gi, g := range best {
+		for _, e := range g {
+			if e < p {
+				out[gi] = append(out[gi], e)
+			}
+		}
+	}
+	return out, nil
+}
+
+// bisectPartition splits the given entities (len(ids) divisible by k) into k
+// equal groups by recursive bisection on the sub-matrix they induce. Odd
+// factors fall back to direct grouping at that level.
+func bisectPartition(m *comm.Matrix, ids []int, k, passes int) ([][]int, error) {
+	if k == 1 {
+		return [][]int{ids}, nil
+	}
+	sub := m
+	if !isIdentity(ids, m.Order()) {
+		var err error
+		sub, err = m.Submatrix(ids)
+		if err != nil {
+			return nil, err
+		}
+	}
+	split := k
+	if k%2 == 0 {
+		split = 2
+	}
+	local := GroupProcesses(sub, len(ids)/split, passes)
+	if split == k {
+		out := make([][]int, k)
+		for gi, g := range local {
+			for _, e := range g {
+				out[gi] = append(out[gi], ids[e])
+			}
+		}
+		return out, nil
+	}
+	var out [][]int
+	for _, g := range local {
+		half := make([]int, len(g))
+		for i, e := range g {
+			half[i] = ids[e]
+		}
+		deeper, err := bisectPartition(m, half, k/2, passes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, deeper...)
+	}
+	return out, nil
+}
+
+// isIdentity reports whether ids is exactly 0..n-1, in which case a
+// Submatrix copy would be the matrix itself.
+func isIdentity(ids []int, n int) bool {
+	if len(ids) != n {
+		return false
+	}
+	for i, e := range ids {
+		if e != i {
+			return false
+		}
+	}
+	return true
+}
+
+// coarsenPartition is the multilevel candidate: repeatedly pair the
+// strongest-affine entities and aggregate, until the coarse order is within
+// a small multiple of k, then partition the coarse graph and expand. The
+// coarse entities carry the accumulated affinity structure, so the final
+// grouping sees block-level weights instead of uniform lattice edges.
+func coarsenPartition(m *comm.Matrix, k, passes int) ([][]int, error) {
+	cover := make([][]int, m.Order())
+	for i := range cover {
+		cover[i] = []int{i}
+	}
+	mat := m
+	for mat.Order() > 4*k && mat.Order()%2 == 0 && (mat.Order()/2)%k == 0 {
+		pairs := GroupProcesses(mat, 2, passes)
+		next := make([][]int, len(pairs))
+		for gi, g := range pairs {
+			for _, e := range g {
+				next[gi] = append(next[gi], cover[e]...)
+			}
+		}
+		var err error
+		mat, err = mat.Aggregate(pairs)
+		if err != nil {
+			return nil, err
+		}
+		cover = next
+	}
+	coarse := GroupProcesses(mat, mat.Order()/k, passes)
+	out := make([][]int, k)
+	for gi, g := range coarse {
+		for _, e := range g {
+			out[gi] = append(out[gi], cover[e]...)
+		}
+	}
+	return out, nil
+}
 
 // GroupProcesses partitions the p entities of the matrix into p/a groups of
 // exactly a entities each, trying to maximize the communication volume kept
@@ -122,6 +309,28 @@ func refineGroups(m *comm.Matrix, groups [][]int, passes int) {
 			return
 		}
 	}
+}
+
+// crossingEntities counts the entities with at least one positive-volume
+// edge leaving their group: the number of streams a partition sends across
+// the boundary.
+func crossingEntities(m *comm.Matrix, groups [][]int) int {
+	group := make([]int, m.Order())
+	for gi, g := range groups {
+		for _, e := range g {
+			group[e] = gi
+		}
+	}
+	n := 0
+	for i := 0; i < m.Order(); i++ {
+		for j := 0; j < m.Order(); j++ {
+			if i != j && group[i] != group[j] && m.At(i, j)+m.At(j, i) > 0 {
+				n++
+				break
+			}
+		}
+	}
+	return n
 }
 
 // intraVolume returns the total communication volume kept inside the groups

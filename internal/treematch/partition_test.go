@@ -1,0 +1,120 @@
+package treematch
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/topology"
+)
+
+func TestNodeSubtree(t *testing.T) {
+	topo, err := topology.FromSpec("node:4 pack:2 core:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NodeSubtree(topo, topology.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Leaves(); got != 16 {
+		t.Fatalf("per-node subtree has %d leaves, want 16", got)
+	}
+	// The subtree must not contain the cluster arity.
+	full, err := FromTopology(topo, topology.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Leaves() != 64 {
+		t.Fatalf("full tree has %d leaves, want 64", full.Leaves())
+	}
+}
+
+func TestNodeSubtreeSingleMachine(t *testing.T) {
+	topo, err := topology.FromSpec("pack:2 core:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NodeSubtree(topo, topology.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Leaves(); got != 8 {
+		t.Fatalf("single-machine subtree has %d leaves, want 8", got)
+	}
+}
+
+func TestNodeSubtreeUnevenRejected(t *testing.T) {
+	topo, err := topology.FromSpec("node:2 pack:2 core:4,4,2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NodeSubtree(topo, topology.Core); err == nil {
+		t.Fatal("uneven cluster accepted")
+	}
+}
+
+func TestPartitionAcrossLattice(t *testing.T) {
+	// An 8x4 lattice with uniform edges: the optimal 4-way partition cuts
+	// 12 edges (4 vertical 2x4 stripes). The portfolio partitioner must
+	// find a 12-edge cut.
+	m := comm.Stencil2D(8, 4, 1000, 0)
+	groups, err := PartitionAcross(m, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := m.TotalVolume()
+	intra := intraVolume(m, groups)
+	cutEdges := (total - intra) / 2000 // each cut edge carries 1000 both ways
+	if cutEdges > 12 {
+		t.Errorf("4-way partition of the 8x4 lattice cuts %.0f edges, want <= 12", cutEdges)
+	}
+	for gi, g := range groups {
+		if len(g) != 8 {
+			t.Errorf("group %d has %d members, want 8", gi, len(g))
+		}
+	}
+}
+
+func TestPartitionAcrossUnevenOrder(t *testing.T) {
+	// 10 entities across 4 groups: capacity ceil(10/4)=3, padding stripped.
+	m := comm.Ring(10, 100)
+	groups, err := PartitionAcross(m, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("%d groups, want 4", len(groups))
+	}
+	seen := make([]bool, 10)
+	for _, g := range groups {
+		if len(g) > 3 {
+			t.Errorf("group of %d exceeds capacity 3", len(g))
+		}
+		for _, e := range g {
+			if seen[e] {
+				t.Fatalf("entity %d in two groups", e)
+			}
+			seen[e] = true
+		}
+	}
+	for e, ok := range seen {
+		if !ok {
+			t.Errorf("entity %d not assigned", e)
+		}
+	}
+}
+
+func TestPartitionAcrossDegenerate(t *testing.T) {
+	if _, err := PartitionAcross(comm.New(4), 0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	groups, err := PartitionAcross(comm.New(0), 3, Options{})
+	if err != nil || len(groups) != 3 {
+		t.Errorf("empty matrix: groups=%v err=%v", groups, err)
+	}
+	// k=1: everything in one group.
+	groups, err = PartitionAcross(comm.Ring(5, 10), 1, Options{})
+	if err != nil || len(groups) != 1 || len(groups[0]) != 5 {
+		t.Errorf("k=1: groups=%v err=%v", groups, err)
+	}
+}

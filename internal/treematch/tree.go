@@ -62,8 +62,52 @@ func FromTopology(t *topology.Topology, leaf topology.Kind) (*Tree, error) {
 	if depth < 0 {
 		return nil, fmt.Errorf("treematch: topology has no %v level", leaf)
 	}
+	tree, err := treeBetween(t, 0, depth)
+	if err != nil {
+		return nil, err
+	}
+	if tree.Leaves() != len(t.Level(depth)) {
+		return nil, fmt.Errorf("treematch: internal error: %d abstract leaves for %d %v objects",
+			tree.Leaves(), len(t.Level(depth)), leaf)
+	}
+	return tree, nil
+}
+
+// NodeSubtree derives the abstract balanced tree of one cluster node of a
+// clustered topology: the levels strictly below the cluster level down to
+// the objects of the given leaf kind. All cluster nodes must be identical
+// (the level-wide fan-out check covers every node's subtree). On a topology
+// without a cluster level it is equivalent to FromTopology: the whole
+// machine is the single node. Hierarchical two-level placement maps each
+// node's task group onto this subtree with the ordinary Algorithm 1.
+func NodeSubtree(t *topology.Topology, leaf topology.Kind) (*Tree, error) {
+	clusterDepth := t.DepthOf(topology.Cluster)
+	if clusterDepth < 0 {
+		return FromTopology(t, leaf)
+	}
+	leafDepth := t.DepthOf(leaf)
+	if leafDepth < 0 {
+		return nil, fmt.Errorf("treematch: topology has no %v level", leaf)
+	}
+	tree, err := treeBetween(t, clusterDepth, leafDepth)
+	if err != nil {
+		return nil, err
+	}
+	nodes := len(t.ClusterNodes())
+	if tree.Leaves()*nodes != len(t.Level(leafDepth)) {
+		return nil, fmt.Errorf("treematch: internal error: %d abstract leaves per node for %d %v objects on %d nodes",
+			tree.Leaves(), len(t.Level(leafDepth)), leaf, nodes)
+	}
+	return tree, nil
+}
+
+// treeBetween builds the abstract tree spanned by the topology levels
+// [fromDepth, toDepth): the fan-outs of those levels become the arities,
+// with arity-1 levels collapsed (they provide no placement choice, and the
+// collapsed levels contribute a factor of 1 to the leaf count).
+func treeBetween(t *topology.Topology, fromDepth, toDepth int) (*Tree, error) {
 	var arities []int
-	for d := 0; d < depth; d++ {
+	for d := fromDepth; d < toDepth; d++ {
 		// TreeMatch's distance model needs a balanced tree: every object of
 		// a level must have the same fan-out. Uneven machines (representable
 		// since the spec grammar grew comma counts) are rejected explicitly —
@@ -80,17 +124,7 @@ func FromTopology(t *topology.Topology, leaf topology.Kind) (*Tree, error) {
 			arities = append(arities, a)
 		}
 	}
-	// Collapsing arity-1 levels never changes the leaf count because the
-	// collapsed levels contribute a factor of 1.
-	tree, err := NewTree(arities)
-	if err != nil {
-		return nil, err
-	}
-	if tree.Leaves() != len(t.Level(depth)) {
-		return nil, fmt.Errorf("treematch: internal error: %d abstract leaves for %d %v objects",
-			tree.Leaves(), len(t.Level(depth)), leaf)
-	}
-	return tree, nil
+	return NewTree(arities)
 }
 
 // Depth returns the number of levels including the leaf level; a tree with
