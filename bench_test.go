@@ -185,10 +185,39 @@ func BenchmarkAblationCluster(b *testing.B) {
 		b.ReportMetric(r.Seconds, metricUnit(r.Name))
 		byName[r.Name] = r.Seconds
 	}
-	// The A9 acceptance property, enforced at bench time too: two-level
-	// placement must beat flat treematch and round-robin across nodes.
-	if h := byName["cluster/hierarchical"]; h >= byName["cluster/flat"] || h >= byName["cluster/rr-nodes"] {
+	// The A9 acceptance property, enforced at bench time too: hierarchical
+	// placement must beat round-robin and never lose to flat treematch (the
+	// two can tie exactly when both find the same optimal partition; see
+	// TestAblationCluster).
+	if h := byName["cluster/hierarchical"]; h > byName["cluster/flat"] || h >= byName["cluster/rr-nodes"] {
 		b.Fatalf("hierarchical placement did not win: %+v", byName)
+	}
+}
+
+// BenchmarkAblationRack is ablation A10: the rack-skewed stencil on a
+// multi-switch fabric under fabric-aware three-level placement, the
+// fabric-blind hierarchical variant, and flat TreeMatch.
+func BenchmarkAblationRack(b *testing.B) {
+	cfg := experiment.RackConfig{Seed: 42} // defaults: 2 racks x 2 nodes x 8 cores
+	var rows []experiment.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiment.AblationRack(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		b.ReportMetric(r.Seconds, metricUnit(r.Name))
+		byName[r.Name] = r.Seconds
+	}
+	// The A10 acceptance property, enforced at bench time too: fabric-aware
+	// three-level placement strictly beats the fabric-blind variant, which
+	// strictly beats flat treematch.
+	aware, blind, flat := byName["rack/rack-aware"], byName["rack/rack-blind"], byName["rack/flat"]
+	if !(aware < blind && blind < flat) {
+		b.Fatalf("rack-aware placement did not win: %+v", byName)
 	}
 }
 

@@ -12,6 +12,7 @@
 //	ablate -exp ompsched    # OpenMP loop schedules (A7)
 //	ablate -exp adaptive    # epoch-based adaptive re-placement (A8)
 //	ablate -exp cluster     # multi-node hierarchical placement (A9)
+//	ablate -exp rack        # rack-tier fabric, three-level placement (A10)
 //	ablate -full            # paper-scale matrix and iterations
 package main
 
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, all")
+		exp   = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, all")
 		full  = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations, 192 cores; overrides -rows/-cols/-iters/-cores)")
 		seed  = flag.Int64("seed", 7, "simulated OS scheduler seed")
 		rows  = flag.Int("rows", 4096, "matrix rows (reduced scale)")
@@ -59,6 +60,9 @@ func main() {
 		{"adaptive", "A8: adaptive re-placement (static vs epoch feedback vs oracle)", experiment.AblationAdaptive},
 		{"cluster", "A9: multi-node placement (hierarchical vs flat vs rr-nodes vs one big node)", func(c experiment.Config) ([]experiment.AblationRow, error) {
 			return experiment.AblationCluster(experiment.ClusterConfigFrom(c))
+		}},
+		{"rack", "A10: rack-tier fabric (fabric-aware vs fabric-blind vs flat treematch)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			return experiment.AblationRack(experiment.RackConfigFrom(c))
 		}},
 	}
 

@@ -3,7 +3,8 @@
 //
 //	topo -spec "pack:24 l3:1 core:8 pu:1"
 //	topo -spec "pack:2 numa:2 core:4 pu:2" -latency
-//	topo -spec "node:4 pack:2 core:8"        # a 4-machine cluster
+//	topo -spec "node:4 pack:2 core:8"          # a 4-machine cluster
+//	topo -spec "rack:2 node:4 pack:2 core:8"   # two racks of 4 machines
 package main
 
 import (

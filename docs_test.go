@@ -1,0 +1,97 @@
+// Docs-freshness guard: command-line flags and the documentation pages must
+// not drift apart silently. The test parses every cmd/* main.go for flag
+// declarations and asserts the README mentions each flag; it also pins the
+// existence of the architecture and topology-spec docs and their links from
+// the README.
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// flagDeclRe matches the name argument of flag.String(...), flag.BoolVar-style
+// declarations included.
+var flagDeclRe = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Float64|Duration)(?:Var)?\(\s*(?:&[\w.]+,\s*)?"([^"]+)"`)
+
+func TestREADMEDocumentsCommandFlags(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(readme)
+
+	mains, err := filepath.Glob(filepath.Join("cmd", "*", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mains) == 0 {
+		t.Fatal("no cmd/*/main.go found; the guard is looking in the wrong place")
+	}
+	for _, main := range mains {
+		src, err := os.ReadFile(main)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decls := flagDeclRe.FindAllStringSubmatch(string(src), -1)
+		if len(decls) == 0 {
+			continue
+		}
+		cmd := filepath.Base(filepath.Dir(main))
+		if !strings.Contains(doc, "cmd/"+cmd) {
+			t.Errorf("README does not mention cmd/%s, which declares flags", cmd)
+			continue
+		}
+		for _, d := range decls {
+			if !strings.Contains(doc, "-"+d[1]) {
+				t.Errorf("README does not document flag -%s of cmd/%s", d[1], cmd)
+			}
+		}
+	}
+}
+
+func TestREADMELinksDocs(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/TOPOLOGY_SPECS.md"} {
+		if _, err := os.Stat(doc); err != nil {
+			t.Errorf("%s missing: %v", doc, err)
+		}
+		if !strings.Contains(string(readme), doc) {
+			t.Errorf("README does not link %s", doc)
+		}
+	}
+}
+
+// TestAblateFlagHelpMatchesREADME drives the -exp flag's usage string the
+// same way `ablate -h` renders it: every experiment name offered by the
+// binary must appear in the README's flag table, so a new ablation cannot
+// ship undocumented.
+func TestAblateFlagHelpMatchesREADME(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("cmd", "ablate", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`"exp", "all", "ablation: ([^"]+)"`).FindStringSubmatch(string(src))
+	if m == nil {
+		t.Fatal("could not find the -exp usage string in cmd/ablate/main.go")
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range strings.Split(m[1], ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !strings.Contains(string(readme), name) {
+			t.Errorf("README does not mention ablation %q offered by ablate -exp", name)
+		}
+	}
+}

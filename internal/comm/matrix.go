@@ -8,6 +8,25 @@
 // handles and locations are composed (see internal/placement); this package
 // also provides synthetic generators for the workloads used in the paper's
 // evaluation and in tests.
+//
+// # The structural matrix is not the runtime's bill
+//
+// The extracted matrix is structural: it attributes a pairwise volume
+// (essentially min of the handle volumes involved) to every pair of tasks
+// that share a location. The simulator prices something subtly different:
+// the B-location FIFO charges the full write-handle volume against the PU
+// acquiring from the previous holder, and a location whose readers span
+// several cluster nodes bounces the lock — and the data — across the fabric
+// once per foreign node per iteration, a cost the pairwise matrix cannot
+// express. Partitions therefore optimize a slightly different objective
+// than the simulator prices: two placements with identical byte×hop cost
+// can differ in makespan when one spreads a location's readers over more
+// nodes (observed concretely on 8×8 stencils split four ways, where an
+// equal-cut slab layout beats a lower-cut center-block layout). The
+// measured epoch window (Window) narrows the gap — it records granted
+// handoffs, not declarations — but per-pair attribution remains pairwise.
+// Reconciling the two models is an open ROADMAP item ("Structural matrix vs
+// runtime charges").
 package comm
 
 import (

@@ -1,0 +1,325 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/numasim"
+	"repro/internal/orwl"
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+// topologyNICBandwidth returns the default per-NIC fabric bandwidth, the
+// baseline for the oversubscribed-uplink default of RackCluster.
+func topologyNICBandwidth() float64 { return topology.DefaultAttrs().NetBandwidth }
+
+// The rack experiment (A10) exercises the multi-switch fabric: the same
+// hierarchical placement pipeline on a cluster whose nodes are split across
+// top-of-rack switches, with rack uplinks priced above NIC links. The
+// workload is a rack-skewed stencil — heavy traffic inside node-sized blocks
+// plus a medium pair exchange between specific blocks — so where each
+// partition group lands relative to the rack boundaries decides how much
+// volume crosses the uplinks. Fabric-aware three-level placement (racks →
+// nodes → cores) keeps the paired groups under one switch; the fabric-blind
+// variant pins group g to node g and splits every pair across racks; flat
+// TreeMatch on the whole cluster tree optimizes no cut explicitly.
+
+// RackConfig parameterizes one rack-skewed stencil run.
+type RackConfig struct {
+	// Racks is the number of top-of-rack switches (default 2, minimum 2 so
+	// the uplinks exist).
+	Racks int
+	// NodesPerRack is the number of cluster nodes under each switch
+	// (default 2).
+	NodesPerRack int
+	// CoresPerNode and CoresPerSocket shape each machine (defaults 8 and 4).
+	CoresPerNode, CoresPerSocket int
+	// Iters is the number of stencil iterations (default 20).
+	Iters int
+	// BlockBytes is each task's working set (default 2 MiB).
+	BlockBytes int64
+	// HaloBytes is the per-iteration volume exchanged between grid
+	// neighbours inside a node-sized block (default 256 KiB): each block is
+	// a small 2-row stencil grid, so splitting it cuts several heavy edges.
+	HaloBytes float64
+	// PairBytes is the per-iteration volume between slot-aligned tasks of
+	// partnered blocks (default 320 KiB): the traffic whose rack placement
+	// the ablation isolates. Slightly heavier than one halo edge — a single
+	// hot link is exactly what greedy bottom-up grouping chases across block
+	// boundaries — but far below a block's aggregate coupling, so the
+	// min-cut partition keeps blocks intact.
+	PairBytes float64
+	// LinkBytes is the light connectivity volume between consecutive blocks
+	// (default 32 KiB).
+	LinkBytes float64
+	// Fabric overrides the interconnect parameters; zero fields keep the
+	// defaults (10GbE-class NICs, 2x10GbE-class uplinks). Racks is forced to
+	// the Racks field above.
+	Fabric numasim.Fabric
+	// Seed drives the simulated OS scheduler.
+	Seed int64
+}
+
+func (c RackConfig) withDefaults() RackConfig {
+	if c.Racks == 0 {
+		c.Racks = 2
+	}
+	if c.NodesPerRack == 0 {
+		c.NodesPerRack = 2
+	}
+	if c.CoresPerNode == 0 {
+		c.CoresPerNode = 8
+	}
+	if c.CoresPerSocket == 0 {
+		c.CoresPerSocket = 4
+	}
+	if c.Iters == 0 {
+		c.Iters = 20
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 2 << 20
+	}
+	if c.HaloBytes == 0 {
+		c.HaloBytes = 256 << 10
+	}
+	if c.PairBytes == 0 {
+		c.PairBytes = 320 << 10
+	}
+	if c.LinkBytes == 0 {
+		c.LinkBytes = 32 << 10
+	}
+	return c
+}
+
+// Validate rejects configurations the rack pipeline cannot run.
+func (c RackConfig) Validate() error {
+	d := c.withDefaults()
+	switch {
+	case d.Racks < 2:
+		return fmt.Errorf("experiment: rack scenario needs at least 2 racks, got %d", d.Racks)
+	case d.NodesPerRack < 1:
+		return fmt.Errorf("experiment: invalid nodes per rack %d", d.NodesPerRack)
+	case d.Racks*d.NodesPerRack%2 != 0:
+		return fmt.Errorf("experiment: %d blocks cannot be paired (need an even node count)", d.Racks*d.NodesPerRack)
+	case d.CoresPerNode < 1 || d.CoresPerSocket < 1:
+		return fmt.Errorf("experiment: invalid node shape %d cores / %d per socket", d.CoresPerNode, d.CoresPerSocket)
+	case d.CoresPerNode%d.CoresPerSocket != 0:
+		return fmt.Errorf("experiment: %d cores per node not divisible into sockets of %d", d.CoresPerNode, d.CoresPerSocket)
+	case d.Iters < 1:
+		return fmt.Errorf("experiment: iteration count %d must be positive", d.Iters)
+	case d.BlockBytes < 0 || d.HaloBytes < 0 || d.PairBytes < 0 || d.LinkBytes < 0:
+		return fmt.Errorf("experiment: negative volume in rack config")
+	}
+	return nil
+}
+
+// RackCluster builds the simulated multi-switch cluster for a configuration.
+// Unless overridden, the rack uplink is an oversubscribed single trunk of
+// NIC-class bandwidth — the classic 2016 rack, where every stream leaving
+// the rack funnels through one 10GbE-class uplink — so rack-crossing
+// traffic pays for itself in bandwidth as well as latency.
+func RackCluster(cfg RackConfig) (*numasim.Cluster, error) {
+	cfg = cfg.withDefaults()
+	nodeSpec := fmt.Sprintf("pack:%d l3:1 core:%d pu:1",
+		cfg.CoresPerNode/cfg.CoresPerSocket, cfg.CoresPerSocket)
+	fabric := cfg.Fabric
+	fabric.Racks = cfg.Racks
+	if fabric.UplinkBandwidthBytesPerSec == 0 {
+		bw := fabric.LinkBandwidthBytesPerSec
+		if bw == 0 {
+			bw = topologyNICBandwidth()
+		}
+		fabric.UplinkBandwidthBytesPerSec = bw
+	}
+	return numasim.NewCluster(cfg.Racks*cfg.NodesPerRack, nodeSpec, fabric, numasim.Config{})
+}
+
+// RackModes lists the placement arms of the rack ablation in report order:
+// fabric-aware three-level placement first (the speedup base), then the
+// fabric-blind hierarchical variant and flat TreeMatch.
+func RackModes() []string {
+	return []string{"rack-aware", "rack-blind", "flat"}
+}
+
+// buildRackStencil constructs the rack-skewed stencil: one task per core,
+// grouped into node-sized blocks. Task i of block b
+//
+//   - reads HaloBytes from every other task of its block (the heavy
+//     all-to-all coupling that makes the blocks the min-cut partition
+//     groups: splitting a block anywhere cuts quadratically many heavy
+//     edges),
+//   - exchanges PairBytes with task i of the partner block b ± B/2 (the
+//     rack-decisive medium traffic: with B blocks numbered in partition
+//     order, pairs (b, b+B/2) always straddle the identity group→node
+//     assignment's rack split),
+//   - and, for task 0 only, exchanges LinkBytes with the next block (light
+//     connectivity so the affinity graph is one component).
+//
+// All volumes are whole bytes; the run is bit-deterministic.
+func buildRackStencil(rt *orwl.Runtime, cfg RackConfig) error {
+	cfg = cfg.withDefaults()
+	blocks := cfg.Racks * cfg.NodesPerRack
+	c := cfg.CoresPerNode
+	n := blocks * c
+	locs := make([]*orwl.Location, n)
+	for i := 0; i < n; i++ {
+		locs[i] = rt.NewLocation(fmt.Sprintf("blk%d.%d", i/c, i%c), cfg.BlockBytes)
+	}
+	cells := float64(cfg.BlockBytes / 8)
+	for i := 0; i < n; i++ {
+		b, slot := i/c, i%c
+		task := rt.AddTask(fmt.Sprintf("t%d.%d", b, slot), nil)
+		var reads []*orwl.Handle
+		addRead := func(peer int, vol float64) {
+			reads = append(reads, task.NewHandleVol(locs[peer], orwl.Read, vol, 0))
+		}
+		// Heavy stencil grid inside the node block: 2 rows of c/2 columns
+		// (one row when the block is too narrow).
+		gw := c / 2
+		if gw < 1 {
+			gw = 1
+		}
+		sx, sy := slot%gw, slot/gw
+		for _, d := range [][2]int{{0, -1}, {0, 1}, {1, 0}, {-1, 0}} {
+			nx, ny := sx+d[0], sy+d[1]
+			if nx < 0 || nx >= gw || ny < 0 || ny*gw+nx >= c {
+				continue
+			}
+			addRead(b*c+ny*gw+nx, cfg.HaloBytes)
+		}
+		// Medium pair exchange with the partner block.
+		addRead(((b+blocks/2)%blocks)*c+slot, cfg.PairBytes)
+		// Light connectivity ring over the blocks.
+		if slot == 0 && blocks > 2 {
+			addRead(((b+1)%blocks)*c, cfg.LinkBytes)
+			addRead(((b+blocks-1)%blocks)*c, cfg.LinkBytes)
+		}
+		w := task.NewHandleVol(locs[i], orwl.Write, cfg.HaloBytes, 1)
+		region := locs[i].Region()
+		block := cfg.BlockBytes
+		task.SetFunc(func(t *orwl.Task) error {
+			for it := 0; it < cfg.Iters; it++ {
+				last := it == cfg.Iters-1
+				for _, h := range reads {
+					if err := h.Acquire(); err != nil {
+						return err
+					}
+					if err := releaseOrNext(h, last); err != nil {
+						return err
+					}
+				}
+				if err := w.Acquire(); err != nil {
+					return err
+				}
+				if p := t.Proc(); p != nil {
+					p.Compute(11 * cells)
+					p.SweepWorkingSet(region, block)
+				}
+				if err := releaseOrNext(w, last); err != nil {
+					return err
+				}
+				t.EndIteration()
+			}
+			return nil
+		})
+	}
+	return nil
+}
+
+// rackPolicy returns the placement policy of one ablation arm.
+func rackPolicy(mode string) (placement.Policy, error) {
+	switch mode {
+	case "rack-aware":
+		return placement.Hierarchical{}, nil
+	case "rack-blind":
+		return placement.Hierarchical{NoFabricMatch: true}, nil
+	case "flat":
+		return placement.TreeMatch{}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown rack mode %q", mode)
+	}
+}
+
+// RunRack executes the rack-skewed stencil under one placement mode and
+// returns its simulated processing time.
+func RunRack(mode string, cfg RackConfig) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg = cfg.withDefaults()
+	pol, err := rackPolicy(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	cluster, err := RackCluster(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	mach := cluster.Machine()
+	rt := orwl.NewRuntime(orwl.Options{Machine: mach, Seed: cfg.Seed})
+	if err := buildRackStencil(rt, cfg); err != nil {
+		return Result{}, err
+	}
+	a, err := placement.Place(rt, pol)
+	if err != nil {
+		return Result{}, err
+	}
+	placement.SetContention(mach, a, nil)
+	placement.SetFabricContention(mach, a, rt.CommMatrix())
+	if err := rt.Run(); err != nil {
+		return Result{}, err
+	}
+	tasks := cfg.Racks * cfg.NodesPerRack * cfg.CoresPerNode
+	return Result{
+		Impl:     ORWLBind,
+		Cores:    tasks,
+		Blocks:   tasks,
+		Tasks:    tasks,
+		Seconds:  rt.MakespanSeconds(),
+		Policy:   a.Policy,
+		Strategy: a.Strategy.String(),
+	}, nil
+}
+
+// AblationRack (A10) compares the placement arms on the rack-skewed stencil.
+func AblationRack(cfg RackConfig) ([]AblationRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	var rows []AblationRow
+	for _, mode := range RackModes() {
+		res, err := RunRack(mode, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation rack, %s: %w", mode, err)
+		}
+		rows = append(rows, AblationRow{
+			Name:    "rack/" + mode,
+			Seconds: res.Seconds,
+			Detail: fmt.Sprintf("%d racks x %d nodes x %d cores",
+				cfg.Racks, cfg.NodesPerRack, cfg.CoresPerNode),
+		})
+	}
+	return rows, nil
+}
+
+// RackConfigFrom derives the rack configuration from the common ablation
+// Config: 2 racks of fixed 8-core nodes, the node count scaled so the total
+// core count comes close to cfg.Cores (the Detail column of every A10 row
+// prints the effective shape). The node shape stays fixed because the
+// scenario's volume ratios are calibrated per node; scale comes from more
+// nodes per rack, which is also how real racks grow.
+func RackConfigFrom(cfg Config) RackConfig {
+	cfg = cfg.withDefaults()
+	perRack := cfg.Cores / 16
+	if perRack < 1 {
+		perRack = 1
+	}
+	return RackConfig{
+		Racks:          2,
+		NodesPerRack:   perRack,
+		CoresPerNode:   8,
+		CoresPerSocket: 4,
+		Seed:           cfg.Seed,
+	}
+}

@@ -22,23 +22,45 @@ type Cluster struct {
 }
 
 // Fabric describes the cluster interconnect. Zero fields take the defaults
-// of topology.DefaultAttrs (a 2016-era 10-Gigabit-Ethernet class network).
+// of topology.DefaultAttrs (a 2016-era 10-Gigabit-Ethernet class network
+// with 2×10GbE-class rack uplinks).
 type Fabric struct {
-	// LinkLatencyCycles is the latency of one fabric link in CPU cycles; a
-	// message between two nodes of a flat cluster traverses two links.
+	// LinkLatencyCycles is the latency of one fabric (NIC) link in CPU
+	// cycles; a message between two nodes of the same switch traverses two
+	// such links.
 	LinkLatencyCycles float64
-	// LinkBandwidthBytesPerSec is the bandwidth of one fabric link.
+	// LinkBandwidthBytesPerSec is the bandwidth of one fabric (NIC) link.
 	LinkBandwidthBytesPerSec float64
+	// Racks splits the cluster nodes across that many top-of-rack switches
+	// (each rack gets an equal share of the nodes; the node count must be
+	// divisible). 0 or 1 keeps the flat single-switch fabric. A message
+	// between nodes in different racks traverses two NIC links plus two rack
+	// uplinks.
+	Racks int
+	// UplinkLatencyCycles is the latency of one rack uplink (top-of-rack
+	// switch to spine) in CPU cycles.
+	UplinkLatencyCycles float64
+	// UplinkBandwidthBytesPerSec is the bandwidth of one rack uplink, shared
+	// by every stream leaving the rack.
+	UplinkBandwidthBytesPerSec float64
 }
 
 // NewCluster builds a cluster of n identical machines, each described by
 // nodeSpec (a single-machine topology spec; it must not itself contain a
-// cluster level). The fused simulation machine is built over the spec
-// "cluster:n nodeSpec" with the fabric's link attributes on the cluster
-// level.
+// cluster or rack level). The fused simulation machine is built over the
+// spec "cluster:n nodeSpec" with the fabric's link attributes on the cluster
+// level — or, when fabric.Racks > 1, over "rack:r cluster:n/r nodeSpec"
+// with the uplink attributes on the rack level.
 func NewCluster(n int, nodeSpec string, fabric Fabric, cfg Config) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("numasim: cluster needs at least 1 node, got %d", n)
+	}
+	racks := fabric.Racks
+	if racks < 1 {
+		racks = 1
+	}
+	if n%racks != 0 {
+		return nil, fmt.Errorf("numasim: %d cluster nodes not divisible across %d racks", n, racks)
 	}
 	def := topology.DefaultAttrs()
 	if fabric.LinkLatencyCycles > 0 {
@@ -47,16 +69,32 @@ func NewCluster(n int, nodeSpec string, fabric Fabric, cfg Config) (*Cluster, er
 	if fabric.LinkBandwidthBytesPerSec > 0 {
 		def.NetBandwidth = fabric.LinkBandwidthBytesPerSec
 	}
-	fabric = Fabric{def.NetLatencyCycles, def.NetBandwidth}
+	if fabric.UplinkLatencyCycles > 0 {
+		def.UplinkLatencyCycles = fabric.UplinkLatencyCycles
+	}
+	if fabric.UplinkBandwidthBytesPerSec > 0 {
+		def.UplinkBandwidth = fabric.UplinkBandwidthBytesPerSec
+	}
+	fabric = Fabric{
+		LinkLatencyCycles:          def.NetLatencyCycles,
+		LinkBandwidthBytesPerSec:   def.NetBandwidth,
+		Racks:                      racks,
+		UplinkLatencyCycles:        def.UplinkLatencyCycles,
+		UplinkBandwidthBytesPerSec: def.UplinkBandwidth,
+	}
 
 	member, err := topology.FromSpecAttrs(nodeSpec, def)
 	if err != nil {
 		return nil, fmt.Errorf("numasim: cluster node spec: %w", err)
 	}
-	if len(member.ClusterNodes()) > 0 {
-		return nil, fmt.Errorf("numasim: node spec %q already contains a cluster level", nodeSpec)
+	if len(member.ClusterNodes()) > 0 || len(member.Racks()) > 0 {
+		return nil, fmt.Errorf("numasim: node spec %q already contains a cluster level or rack level", nodeSpec)
 	}
-	fusedTopo, err := topology.FromSpecAttrs(fmt.Sprintf("cluster:%d %s", n, member.Spec()), def)
+	fusedSpec := fmt.Sprintf("cluster:%d %s", n, member.Spec())
+	if racks > 1 {
+		fusedSpec = fmt.Sprintf("rack:%d cluster:%d %s", racks, n/racks, member.Spec())
+	}
+	fusedTopo, err := topology.FromSpecAttrs(fusedSpec, def)
 	if err != nil {
 		return nil, fmt.Errorf("numasim: fused cluster spec: %w", err)
 	}
@@ -84,8 +122,9 @@ func NewCluster(n int, nodeSpec string, fabric Fabric, cfg Config) (*Cluster, er
 }
 
 // ClusterFromSpec builds a cluster from a full cluster topology spec such as
-// "node:4 pack:2 core:8" or "cluster:2 core:16". A spec without a cluster
-// level yields a single-node cluster.
+// "node:4 pack:2 core:8", "cluster:2 core:16" or — with a rack tier —
+// "rack:2 node:4 pack:2 core:8". A spec without a cluster level yields a
+// single-node cluster; a rack tier in the spec overrides fabric.Racks.
 func ClusterFromSpec(spec string, fabric Fabric, cfg Config) (*Cluster, error) {
 	t, err := topology.FromSpec(spec)
 	if err != nil {
@@ -93,14 +132,23 @@ func ClusterFromSpec(spec string, fabric Fabric, cfg Config) (*Cluster, error) {
 	}
 	n := t.NumClusterNodes()
 	nodeSpec := t.Spec()
+	if t.NumRacks() > 0 {
+		fabric.Racks = t.NumRacks()
+	}
 	if len(t.ClusterNodes()) > 0 {
-		// Strip the leading "cluster:N" token of the normalized spec to
-		// recover the per-node machine spec.
+		// Strip the leading "rack:R" and "cluster:N" tokens of the normalized
+		// spec to recover the per-node machine spec.
 		fields := strings.Fields(nodeSpec)
-		if strings.Contains(fields[0], ",") {
-			return nil, fmt.Errorf("numasim: uneven cluster level %q is not supported", fields[0])
+		drop := 1
+		if t.NumRacks() > 0 {
+			drop = 2
 		}
-		nodeSpec = strings.Join(fields[1:], " ")
+		for _, f := range fields[:drop] {
+			if strings.Contains(f, ",") {
+				return nil, fmt.Errorf("numasim: uneven fabric level %q is not supported", f)
+			}
+		}
+		nodeSpec = strings.Join(fields[drop:], " ")
 	}
 	return NewCluster(n, nodeSpec, fabric, cfg)
 }
@@ -119,6 +167,17 @@ func (c *Cluster) Node(i int) *Machine { return c.members[i] }
 
 // Fabric returns the effective interconnect parameters.
 func (c *Cluster) Fabric() Fabric { return c.fabric }
+
+// Racks returns the number of top-of-rack switches (1 on a flat fabric).
+func (c *Cluster) Racks() int {
+	if r := c.fused.Topology().NumRacks(); r > 0 {
+		return r
+	}
+	return 1
+}
+
+// RackOfNode returns the rack index of a cluster node (0 on a flat fabric).
+func (c *Cluster) RackOfNode(i int) int { return c.fused.RackOfClusterNode(i) }
 
 // NodeOfPU returns the cluster-node index owning a fused-machine PU.
 func (c *Cluster) NodeOfPU(pu int) int { return c.fused.ClusterNodeOfPU(pu) }

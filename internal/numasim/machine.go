@@ -21,6 +21,21 @@
 // and independent of the real Go scheduler. Contention is modelled with
 // static per-node accessor counts derived from the placement, which keeps
 // the engine order-insensitive (see DESIGN.md §5.2).
+//
+// # Units
+//
+// Every cost in this package is measured in CPU cycles of the simulated
+// clock (ClockHz); CyclesToSeconds converts to simulated seconds.
+// Intra-machine charges derive from cache/memory latencies and bandwidths;
+// transfers that cross a cluster-node boundary charge network cycles
+// instead — the accumulated per-link latency of the actual hop path (NIC
+// links, plus rack uplinks across racks; fabricLatencyCycles) and streaming
+// at the bottleneck link bandwidth, each link shared by its declared
+// crossing streams (SetFabricLinkStreams, or the machine-wide
+// SetFabricStreams fallback). The simulator prices whatever placement it is
+// given; it does not optimize. The placement side optimizes a structural
+// byte×hop objective whose units never appear here — internal/comm's
+// package documentation records where the two models are known to diverge.
 package numasim
 
 import (
@@ -110,6 +125,9 @@ type Machine struct {
 	cnodeOf []int
 	// cnodeOfNUMA[node] is the cluster-node index of each NUMA node.
 	cnodeOfNUMA []int
+	// rackOfCnode[c] is the rack index of each cluster node; nil on a
+	// single-switch fabric (no rack tier).
+	rackOfCnode []int
 	// l3Share[pu] is the slice of the innermost shared cache a PU can count
 	// on, in bytes (cache size / PUs sharing it).
 	l3Share []int64
@@ -123,10 +141,18 @@ type Machine struct {
 	// cfg.InterconnectBandwidth.
 	remoteStreams int
 	// fabricStreams is the static number of streams crossing cluster-node
-	// boundaries in steady state; each network link's bandwidth is shared
-	// among them (the NIC and switch ports are the cluster's scarce
-	// resource).
+	// boundaries in steady state, the machine-wide fallback contention model:
+	// every fabric link's bandwidth is shared among all of them. It applies
+	// only while the per-link counts below are unset.
 	fabricStreams int
+	// nicStreams[c], when non-nil, is the number of crossing streams touching
+	// cluster node c's NIC link; uplinkStreams[r] the number of streams
+	// leaving rack r over its uplink. Per-link counts replace the global
+	// fabricStreams model: a transfer is capped by the most contended link on
+	// its path, so balancing the crossing streams across NICs and uplinks
+	// recovers bandwidth that the global model would average away.
+	nicStreams    []int
+	uplinkStreams []int
 	// boundPerPU counts bound Procs per PU. SMT compute inflation applies
 	// when at least two PUs of the same core are occupied (hyperthread
 	// sharing); several Procs time-multiplexed on one PU do not inflate —
@@ -174,6 +200,12 @@ func New(topo *topology.Topology, cfg Config) (*Machine, error) {
 	for n, node := range topo.NUMANodes() {
 		if c := topo.ClusterNodeOf(node); c != nil {
 			m.cnodeOfNUMA[n] = c.LevelIndex
+		}
+	}
+	if topo.NumRacks() > 0 {
+		m.rackOfCnode = make([]int, len(topo.ClusterNodes()))
+		for c, node := range topo.ClusterNodes() {
+			m.rackOfCnode[c] = topo.RackOf(node).LevelIndex
 		}
 	}
 	for i := range m.accessors {
@@ -242,7 +274,7 @@ func (m *Machine) Accessors(node int) int {
 }
 
 // ResetAccessors restores every node to contention degree 1 and clears the
-// remote-stream and fabric-stream counts.
+// remote-stream and fabric-stream counts (global and per-link).
 func (m *Machine) ResetAccessors() {
 	m.mu.Lock()
 	for i := range m.accessors {
@@ -250,6 +282,8 @@ func (m *Machine) ResetAccessors() {
 	}
 	m.remoteStreams = 0
 	m.fabricStreams = 0
+	m.nicStreams = nil
+	m.uplinkStreams = nil
 	m.mu.Unlock()
 }
 
@@ -273,25 +307,94 @@ func (m *Machine) RemoteStreams() int {
 	return m.remoteStreams
 }
 
-// SetFabricStreams declares how many streams cross cluster-node boundaries
-// in steady state; each crossing stream sustains an equal share of the
-// network link bandwidth. Placement code derives this from the task layout
-// and affinity matrix (see placement.SetContention); 0 disables the cap. A
-// no-op concern on single-machine topologies, where nothing crosses.
+// SetFabricStreams declares the machine-wide fallback fabric contention: how
+// many streams cross cluster-node boundaries in steady state, every fabric
+// link's bandwidth shared equally among all of them. 0 disables the cap. Any
+// per-link counts previously declared with SetFabricLinkStreams are cleared —
+// the two models are alternatives, the per-link one strictly finer. A no-op
+// concern on single-machine topologies, where nothing crosses.
 func (m *Machine) SetFabricStreams(n int) {
 	if n < 0 {
 		n = 0
 	}
 	m.mu.Lock()
 	m.fabricStreams = n
+	m.nicStreams = nil
+	m.uplinkStreams = nil
 	m.mu.Unlock()
 }
 
-// FabricStreams returns the declared cluster-fabric contention degree.
+// FabricStreams returns the declared machine-wide fabric contention degree
+// (the fallback model; 0 while per-link counts are in force or when nothing
+// was declared).
 func (m *Machine) FabricStreams() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.nicStreams != nil {
+		return 0
+	}
 	return m.fabricStreams
+}
+
+// SetFabricLinkStreams declares the per-link fabric contention: nic[c] is the
+// number of crossing streams touching cluster node c's NIC link, uplink[r]
+// the number of streams leaving rack r over its uplink (ignored on a
+// single-switch fabric; may be nil there). A transfer is capped by the most
+// contended link on its hop path — source NIC, source uplink, target uplink,
+// target NIC — so a placement that balances the crossing streams across
+// nodes and racks sustains more bandwidth than one that funnels them through
+// a single link, even at equal total cut. Placement code derives the counts
+// from the task layout and affinity matrix (placement.SetFabricContention).
+// While per-link counts are set they take precedence over the global model;
+// passing nil slices reverts to whatever SetFabricStreams last declared.
+// Mis-sized slices panic (a programming error, like an out-of-range index):
+// zero-filling missing links would silently model them as uncontended.
+func (m *Machine) SetFabricLinkStreams(nic, uplink []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if nic == nil {
+		m.nicStreams, m.uplinkStreams = nil, nil
+		return
+	}
+	nodes, racks := len(m.topo.ClusterNodes()), len(m.topo.Racks())
+	if len(nic) != nodes {
+		panic(fmt.Sprintf("numasim: SetFabricLinkStreams got %d NIC counts for %d cluster nodes", len(nic), nodes))
+	}
+	if racks > 0 && len(uplink) != racks {
+		panic(fmt.Sprintf("numasim: SetFabricLinkStreams got %d uplink counts for %d racks", len(uplink), racks))
+	}
+	m.nicStreams = append([]int(nil), nic...)
+	m.uplinkStreams = nil
+	if racks > 0 {
+		m.uplinkStreams = append([]int(nil), uplink...)
+	}
+}
+
+// NICStreams returns the declared crossing-stream count of cluster node c's
+// NIC link, falling back to the global fabric-stream count when no per-link
+// counts are set.
+func (m *Machine) NICStreams(c int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.nicStreams == nil {
+		return m.fabricStreams
+	}
+	return m.nicStreams[c]
+}
+
+// UplinkStreams returns the declared crossing-stream count of rack r's
+// uplink, falling back to the global fabric-stream count when no per-link
+// counts are set (and 0 on a single-switch fabric).
+func (m *Machine) UplinkStreams(r int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.uplinkStreams == nil {
+		if m.rackOfCnode == nil {
+			return 0
+		}
+		return m.fabricStreams
+	}
+	return m.uplinkStreams[r]
 }
 
 // ClusterNodeOfPU returns the cluster-node index of a PU (0 on a single
@@ -302,47 +405,103 @@ func (m *Machine) ClusterNodeOfPU(pu int) int { return m.cnodeOf[pu] }
 // single machine).
 func (m *Machine) ClusterNodeOfNode(node int) int { return m.cnodeOfNUMA[node] }
 
-// fabricLinkCycles returns the per-transfer fabric price between two cluster
-// nodes: the accumulated per-link latency in cycles and the bottleneck link
-// bandwidth in bytes per cycle. Both cluster-node indices must differ.
-func (m *Machine) fabricLinkCycles(fromC, toC int) (latency, bytesPerCycle float64) {
-	cn := m.topo.ClusterNodes()
-	a, b := cn[fromC], cn[toC]
-	// A message traverses one link per tree hop between the two cluster
-	// nodes (2 on a flat, single-switch fabric).
-	hops := m.topo.HopDistance(a, b)
-	latency = a.Attr.LatencyCycles * float64(hops)
-	bw := a.Attr.BandwidthBytesPerSec
-	if b.Attr.BandwidthBytesPerSec < bw {
-		bw = b.Attr.BandwidthBytesPerSec
+// RackOfClusterNode returns the rack index of a cluster node (0 on a
+// single-switch fabric, where every node hangs off one switch).
+func (m *Machine) RackOfClusterNode(c int) int {
+	if m.rackOfCnode == nil {
+		return 0
 	}
-	return latency, bw / m.clockHz
+	return m.rackOfCnode[c]
+}
+
+// SameRack reports whether two cluster nodes share a top-of-rack switch
+// (always true on a single-switch fabric).
+func (m *Machine) SameRack(fromC, toC int) bool {
+	return m.rackOfCnode == nil || m.rackOfCnode[fromC] == m.rackOfCnode[toC]
+}
+
+// fabricLatencyCycles accumulates the per-link latency of the actual hop
+// path between two distinct cluster nodes: both endpoint NIC links
+// (node → ToR switch and ToR → node), plus — when the nodes sit in different
+// racks — both rack uplinks (ToR → spine and spine → ToR). On a
+// single-switch fabric this is the familiar two-link price.
+func (m *Machine) fabricLatencyCycles(fromC, toC int) float64 {
+	cn := m.topo.ClusterNodes()
+	lat := cn[fromC].Attr.LatencyCycles + cn[toC].Attr.LatencyCycles
+	if !m.SameRack(fromC, toC) {
+		racks := m.topo.Racks()
+		lat += racks[m.rackOfCnode[fromC]].Attr.LatencyCycles +
+			racks[m.rackOfCnode[toC]].Attr.LatencyCycles
+	}
+	return lat
+}
+
+// fabricBandwidth returns the bytes/second a stream between two distinct
+// cluster nodes can sustain: the bottleneck over the links of its hop path,
+// each link's bandwidth shared among the streams declared to cross it
+// (nic/uplink from SetFabricLinkStreams), or among all crossing streams
+// under the global fallback count (SetFabricStreams). The stream-count
+// state is passed in by the caller — effectiveBandwidth snapshots it under
+// the machine lock it already holds, so the hot path takes the lock once.
+// The path is source NIC → [source uplink → target uplink] → target NIC;
+// the uplink legs exist only when the nodes are in different racks.
+func (m *Machine) fabricBandwidth(fromC, toC int, nic, uplink []int, global int) float64 {
+	cn := m.topo.ClusterNodes()
+	bw := shareLink(cn[fromC].Attr.BandwidthBytesPerSec, linkStreams(nic, fromC, global))
+	if b := shareLink(cn[toC].Attr.BandwidthBytesPerSec, linkStreams(nic, toC, global)); b < bw {
+		bw = b
+	}
+	if !m.SameRack(fromC, toC) {
+		racks := m.topo.Racks()
+		for _, r := range [2]int{m.rackOfCnode[fromC], m.rackOfCnode[toC]} {
+			if b := shareLink(racks[r].Attr.BandwidthBytesPerSec, linkStreams(uplink, r, global)); b < bw {
+				bw = b
+			}
+		}
+	}
+	return bw
+}
+
+// linkStreams returns the contention degree of one fabric link: its
+// per-link count when declared, the global fallback otherwise.
+func linkStreams(perLink []int, i, global int) int {
+	if perLink == nil {
+		return global
+	}
+	return perLink[i]
+}
+
+// shareLink divides a link's bandwidth among its crossing streams.
+func shareLink(bw float64, streams int) float64 {
+	if streams > 1 {
+		return bw / float64(streams)
+	}
+	return bw
 }
 
 // effectiveBandwidth returns the bytes/second a stream on pu can sustain
 // from the given node: the node's bandwidth divided by its contention
 // degree; remote streams are further capped by the hop-degraded link
 // bandwidth and by their share of the interconnect fabric. A stream that
-// crosses a cluster-node boundary is capped by the network link bandwidth
-// instead of the SMP interconnect model.
+// crosses a cluster-node boundary is capped by the bottleneck fabric link on
+// its hop path — NICs and, across racks, uplinks, each shared by its
+// declared crossing streams — instead of the SMP interconnect model.
 func (m *Machine) effectiveBandwidth(pu, node int) float64 {
 	nodeObj := m.topo.NUMANodes()[node]
 	m.mu.Lock()
 	acc := m.accessors[node]
 	remote := m.remoteStreams
-	fabric := m.fabricStreams
+	// Snapshot the fabric stream state in the same critical section; the
+	// slices are replaced wholesale, never mutated in place, so reading the
+	// snapshot outside the lock is safe.
+	nic, uplink, global := m.nicStreams, m.uplinkStreams, m.fabricStreams
 	m.mu.Unlock()
 	bw := nodeObj.Attr.BandwidthBytesPerSec / float64(acc)
 	if m.nodeOf[pu] == node {
 		return bw
 	}
 	if m.cnodeOf[pu] != m.cnodeOfNUMA[node] {
-		_, linkBPC := m.fabricLinkCycles(m.cnodeOf[pu], m.cnodeOfNUMA[node])
-		link := linkBPC * m.clockHz
-		if fabric > 1 {
-			link /= float64(fabric)
-		}
-		if link < bw {
+		if link := m.fabricBandwidth(m.cnodeOf[pu], m.cnodeOfNUMA[node], nic, uplink, global); link < bw {
 			bw = link
 		}
 		return bw
@@ -370,8 +529,7 @@ func (m *Machine) memLatencyCycles(pu, node int) float64 {
 		return base
 	}
 	if m.cnodeOf[pu] != m.cnodeOfNUMA[node] {
-		lat, _ := m.fabricLinkCycles(m.cnodeOf[pu], m.cnodeOfNUMA[node])
-		return base + lat
+		return base + m.fabricLatencyCycles(m.cnodeOf[pu], m.cnodeOfNUMA[node])
 	}
 	hops := m.topo.HopDistance(local, target)
 	return base * (1 + float64(hops)/2)

@@ -1,0 +1,194 @@
+package numasim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// rackCluster builds 2 racks × 2 nodes of 4 cores for the fabric tests.
+func rackCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(4, "pack:1 core:4 pu:1", Fabric{Racks: 2}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterRacks(t *testing.T) {
+	c := rackCluster(t)
+	if got := c.Racks(); got != 2 {
+		t.Fatalf("Racks = %d, want 2", got)
+	}
+	topo := c.Machine().Topology()
+	if topo.NumRacks() != 2 || topo.NumClusterNodes() != 4 {
+		t.Fatalf("fused shape: %d racks, %d nodes", topo.NumRacks(), topo.NumClusterNodes())
+	}
+	for node, wantRack := range []int{0, 0, 1, 1} {
+		if got := c.RackOfNode(node); got != wantRack {
+			t.Errorf("RackOfNode(%d) = %d, want %d", node, got, wantRack)
+		}
+	}
+	if c.Machine().SameRack(0, 2) {
+		t.Error("nodes 0 and 2 must be in different racks")
+	}
+	if !c.Machine().SameRack(2, 3) {
+		t.Error("nodes 2 and 3 must share rack 1")
+	}
+}
+
+func TestNewClusterRacksIndivisible(t *testing.T) {
+	_, err := NewCluster(3, "core:4", Fabric{Racks: 2}, Config{})
+	if err == nil || !strings.Contains(err.Error(), "not divisible across") {
+		t.Fatalf("indivisible rack split accepted: %v", err)
+	}
+}
+
+func TestClusterFromSpecRackTier(t *testing.T) {
+	c, err := ClusterFromSpec("rack:2 node:2 pack:1 core:4", Fabric{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Racks() != 2 || c.Nodes() != 4 {
+		t.Fatalf("shape: %d racks, %d nodes", c.Racks(), c.Nodes())
+	}
+	if got := c.Fabric().Racks; got != 2 {
+		t.Errorf("Fabric().Racks = %d, want 2", got)
+	}
+}
+
+// TestFabricHopPathPricing: a lock handoff between racks pays both NIC links
+// and both uplinks, one within a rack only the NIC links — so the cross-rack
+// transfer is strictly more expensive, and the flat-fabric price is
+// unchanged from a rackless cluster of the same nodes.
+func TestFabricHopPathPricing(t *testing.T) {
+	c := rackCluster(t)
+	m := c.Machine()
+	perNode := m.Topology().NumPUs() / 4
+	const bytes = 1 << 20
+	intraNode := m.TransferCost(0, 1, bytes)         // same machine
+	intraRack := m.TransferCost(0, perNode, bytes)   // node 0 → node 1
+	crossRack := m.TransferCost(0, 2*perNode, bytes) // node 0 → node 2
+	if !(intraNode < intraRack && intraRack < crossRack) {
+		t.Fatalf("want intra-node %.0f < intra-rack %.0f < cross-rack %.0f cycles",
+			intraNode, intraRack, crossRack)
+	}
+	// The latency difference is exactly the two uplink traversals (bandwidth
+	// terms match while the uplink is not the bottleneck).
+	def := topology.DefaultAttrs()
+	wantDelta := 2 * def.UplinkLatencyCycles
+	if got := crossRack - intraRack; got != wantDelta {
+		t.Errorf("cross-rack surcharge = %.0f cycles, want %.0f (two uplinks)", got, wantDelta)
+	}
+
+	// A flat 4-node cluster prices the same node pair like the intra-rack
+	// path: racks only add cost where a rack boundary is crossed.
+	flat, err := NewCluster(4, "pack:1 core:4 pu:1", Fabric{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flat.Machine().TransferCost(0, 2*perNode, bytes); got != intraRack {
+		t.Errorf("flat-fabric transfer = %.0f cycles, want %.0f (two NIC links)", got, intraRack)
+	}
+}
+
+// TestPerLinkFabricContention: with per-link stream counts, a transfer is
+// capped by the most contended link on its path. Funneling all streams
+// through one node's NIC throttles transfers to that node but leaves other
+// paths at full speed — the property that rewards balanced partitions.
+func TestPerLinkFabricContention(t *testing.T) {
+	c := rackCluster(t)
+	m := c.Machine()
+	perNode := m.Topology().NumPUs() / 4
+	const bytes = 8 << 20
+
+	free := m.TransferCost(0, perNode, bytes)
+
+	// 8 streams all hitting node 1's NIC; nodes 0/2/3 uncontended.
+	m.SetFabricLinkStreams([]int{1, 8, 1, 1}, []int{1, 1})
+	hot := m.TransferCost(0, perNode, bytes)            // into the hot NIC
+	cold := m.TransferCost(2*perNode, 3*perNode, bytes) // rack 1, both NICs cold
+	if hot <= free {
+		t.Errorf("transfer into contended NIC (%.0f) not above uncontended (%.0f)", hot, free)
+	}
+	if cold != free {
+		t.Errorf("transfer on uncontended path = %.0f, want %.0f (per-link isolation)", cold, free)
+	}
+
+	// Uplink contention throttles only rack-crossing transfers.
+	m.SetFabricLinkStreams([]int{1, 1, 1, 1}, []int{8, 8})
+	intra := m.TransferCost(0, perNode, bytes)
+	cross := m.TransferCost(0, 2*perNode, bytes)
+	if intra != free {
+		t.Errorf("intra-rack transfer pays uplink contention: %.0f vs %.0f", intra, free)
+	}
+	crossFree := free + 2*topology.DefaultAttrs().UplinkLatencyCycles
+	if cross <= crossFree {
+		t.Errorf("cross-rack transfer under uplink contention = %.0f, want above %.0f", cross, crossFree)
+	}
+
+	// Reverting to the global model restores uniform sharing.
+	m.SetFabricLinkStreams(nil, nil)
+	if got := m.TransferCost(0, perNode, bytes); got != free {
+		t.Errorf("after reset transfer = %.0f, want %.0f", got, free)
+	}
+}
+
+// TestGlobalFabricStreamsEquivalence: on any fabric, the legacy global model
+// must equal uniform per-link counts — SetFabricStreams(n) and
+// SetFabricLinkStreams([n,n,...], [n,n,...]) price every transfer alike.
+func TestGlobalFabricStreamsEquivalence(t *testing.T) {
+	c := rackCluster(t)
+	m := c.Machine()
+	perNode := m.Topology().NumPUs() / 4
+	const bytes = 4 << 20
+	pairs := [][2]int{{0, perNode}, {0, 2 * perNode}, {perNode, 3 * perNode}}
+
+	m.SetFabricStreams(6)
+	global := make([]float64, len(pairs))
+	for i, p := range pairs {
+		global[i] = m.TransferCost(p[0], p[1], bytes)
+	}
+	m.SetFabricLinkStreams([]int{6, 6, 6, 6}, []int{6, 6})
+	for i, p := range pairs {
+		if got := m.TransferCost(p[0], p[1], bytes); got != global[i] {
+			t.Errorf("pair %v: per-link uniform %.0f != global %.0f", p, got, global[i])
+		}
+	}
+	// Getters report the in-force model.
+	if m.FabricStreams() != 0 {
+		t.Errorf("FabricStreams = %d after per-link declaration, want 0", m.FabricStreams())
+	}
+	if m.NICStreams(2) != 6 || m.UplinkStreams(1) != 6 {
+		t.Errorf("per-link getters: nic=%d uplink=%d, want 6/6", m.NICStreams(2), m.UplinkStreams(1))
+	}
+	m.ResetAccessors()
+	if m.NICStreams(0) != 0 || m.UplinkStreams(0) != 0 {
+		t.Error("ResetAccessors must clear per-link stream counts")
+	}
+}
+
+// TestFabricLinkStreamsRevert: clearing the per-link counts restores the
+// global model that was last declared — not an uncapped fabric.
+func TestFabricLinkStreamsRevert(t *testing.T) {
+	c := rackCluster(t)
+	m := c.Machine()
+	perNode := m.Topology().NumPUs() / 4
+	const bytes = 4 << 20
+
+	m.SetFabricStreams(6)
+	global := m.TransferCost(0, perNode, bytes)
+	m.SetFabricLinkStreams([]int{1, 1, 1, 1}, []int{1, 1})
+	if got := m.TransferCost(0, perNode, bytes); got >= global {
+		t.Fatalf("uncontended per-link transfer %.0f not below global-6 %.0f", got, global)
+	}
+	m.SetFabricLinkStreams(nil, nil)
+	if got := m.FabricStreams(); got != 6 {
+		t.Errorf("FabricStreams after revert = %d, want the declared 6", got)
+	}
+	if got := m.TransferCost(0, perNode, bytes); got != global {
+		t.Errorf("transfer after revert = %.0f, want the global-model price %.0f", got, global)
+	}
+}

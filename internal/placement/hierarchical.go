@@ -9,7 +9,7 @@ import (
 	"repro/internal/treematch"
 )
 
-// Hierarchical is the two-level placement policy for clustered machines:
+// Hierarchical is the multi-level placement policy for clustered machines:
 // the task graph is first partitioned across the cluster nodes with a cut-
 // minimizing grouping (treematch.PartitionAcross) — every cut byte crosses
 // the interconnect fabric, so the node-level cut dominates the cost — and
@@ -17,16 +17,30 @@ import (
 // node's intra-machine tree from the group's sub-matrix. On a machine
 // without a cluster level it degrades to the plain TreeMatch policy.
 //
+// On a multi-switch fabric (a topology with a rack tier) placement is
+// three-level: the aggregated group-to-group matrix is itself treematch-
+// mapped onto the fabric tree (treematch.FabricTree), so groups that
+// exchange heavy residual volume land in the same rack and only light
+// traffic crosses the rack uplinks. On a flat single-switch fabric every
+// group-to-node assignment prices identically, so the matching is skipped
+// and group g runs on node g, which keeps the result deterministic.
+//
 // Compared with running flat TreeMatch on the whole cluster tree, the
 // explicit top split optimizes the fabric cut directly instead of letting it
 // emerge from bottom-up core-level grouping, and keeps the per-node
 // instances small.
 type Hierarchical struct {
-	// Options tunes the underlying grouping heuristic at both levels.
+	// Options tunes the underlying grouping heuristic at all levels.
 	Options treematch.Options
 	// NoDistribute disables the per-node NUMA distribution step, mirroring
 	// TreeMatch.NoDistribute.
 	NoDistribute bool
+	// NoFabricMatch disables the group→node matching on multi-switch
+	// fabrics, pinning partition group g to cluster node g as on a flat
+	// fabric. This is the fabric-blind arm of ablation A10: the node-level
+	// cut is still minimized, but where each group lands relative to the
+	// rack boundaries is left to chance.
+	NoFabricMatch bool
 }
 
 // Name implements Policy.
@@ -55,12 +69,36 @@ func (p Hierarchical) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment
 	coresPerNode := topo.NumCores() / nodes
 
 	// Level 1: split the task graph across the cluster nodes, minimizing
-	// the volume that must cross the fabric. Group g runs on node g: on a
-	// uniform single-switch fabric every assignment of groups to nodes
-	// prices identically, so the identity keeps the result deterministic.
-	groups, err := treematch.PartitionAcross(m, nodes, p.Options)
+	// the volume that must cross the fabric.
+	groups, groupMatrix, err := treematch.PartitionAcrossMatrix(m, nodes, p.Options)
 	if err != nil {
 		return nil, err
+	}
+
+	// Level 2 (multi-switch fabrics only): treematch-map the aggregated
+	// group matrix onto the fabric tree, so groups with heavy residual
+	// traffic share a rack. On a single-switch fabric every group→node
+	// assignment prices identically, and the identity keeps A9 and older
+	// results bit-stable.
+	nodeOf := make([]int, len(groups))
+	for g := range nodeOf {
+		nodeOf[g] = g
+	}
+	if !p.NoFabricMatch && topo.NumRacks() > 1 {
+		fabricTree, err := treematch.FabricTree(topo)
+		if err != nil {
+			return nil, err
+		}
+		// Clustering, not distribution: spreading groups across racks is
+		// exactly what the matching must avoid, so the tree is not
+		// restricted.
+		fabricOpts := p.Options
+		fabricOpts.Distribute = false
+		mp, err := treematch.MapMatrix(fabricTree, groupMatrix, fabricOpts)
+		if err != nil {
+			return nil, fmt.Errorf("placement: hierarchical fabric matching: %w", err)
+		}
+		copy(nodeOf, mp.Assignment)
 	}
 
 	a := &Assignment{
@@ -78,26 +116,27 @@ func (p Hierarchical) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment
 		if len(group) == 0 {
 			continue
 		}
-		// Level 2: the ordinary Algorithm 1 on this node's sub-matrix and
-		// intra-machine tree, including the control-thread adaptation.
+		node := nodeOf[g]
+		// Bottom level: the ordinary Algorithm 1 on this node's sub-matrix
+		// and intra-machine tree, including the control-thread adaptation.
 		sub, err := m.Submatrix(group)
 		if err != nil {
 			return nil, err
 		}
 		res, err := treematch.Map(treematch.Target{Tree: nodeTree, SMTWays: ways}, sub, opts)
 		if err != nil {
-			return nil, fmt.Errorf("placement: hierarchical node %d: %w", g, err)
+			return nil, fmt.Errorf("placement: hierarchical node %d: %w", node, err)
 		}
 		for local, task := range group {
-			core := g*coresPerNode + res.Assignment[local]
+			core := node*coresPerNode + res.Assignment[local]
 			a.TaskPU[task] = firstPU(topo, core)
 			switch {
 			case res.Control[local] < 0:
 				a.ControlPU[task] = -1
 			case res.Strategy == treematch.ControlHyperthread:
-				a.ControlPU[task] = secondPU(topo, g*coresPerNode+res.Control[local])
+				a.ControlPU[task] = secondPU(topo, node*coresPerNode+res.Control[local])
 			default:
-				a.ControlPU[task] = firstPU(topo, g*coresPerNode+res.Control[local])
+				a.ControlPU[task] = firstPU(topo, node*coresPerNode+res.Control[local])
 			}
 		}
 		// Nodes of different sizes may resolve the control threads

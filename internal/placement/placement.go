@@ -7,6 +7,21 @@
 //
 // Baseline policies (compact, scatter, round-robin, random, no-bind) are
 // provided for the comparisons and ablations in the evaluation.
+//
+// # Objective function and units
+//
+// Policies minimize treematch's structural objective — bytes × tree hops
+// over the declared affinity matrix; on clusters, Hierarchical first
+// minimizes the fabric cut in bytes and, on multi-switch fabrics, the
+// rack-crossing residual (see treematch.PartitionAcross and
+// treematch.FabricTree). The policies themselves never handle cycles. The
+// bridge to priced time is the contention derivation applied after a
+// placement is chosen: SetContention declares per-NUMA-node accessor
+// counts, and SetFabricContention the per-NIC and per-uplink crossing
+// stream counts; the simulator (internal/numasim) then charges CPU cycles —
+// network cycles for fabric paths — against those declarations. Whether the
+// structural optimum coincides with the priced optimum is not guaranteed;
+// internal/comm's package documentation spells out where the two diverge.
 package placement
 
 import (
@@ -327,28 +342,67 @@ func SetContention(mach *numasim.Machine, a *Assignment, heavy []bool) {
 }
 
 // SetFabricContention derives the cluster-fabric contention from an
-// assignment and the program's affinity matrix: every task that exchanges
-// volume with a task placed on another cluster node contributes one stream
-// crossing the network, and all crossing streams share the link bandwidth
-// (see numasim.Machine.SetFabricStreams). An unbound task on a multi-node
-// machine roams and is counted as crossing. A no-op on single-machine
-// topologies.
+// assignment and the program's affinity matrix, per link: every task that
+// exchanges volume with a task placed on another cluster node contributes
+// one stream on its node's NIC link, and — when some partner sits in another
+// rack — one stream on its rack's uplink. The counts are declared with
+// numasim.Machine.SetFabricLinkStreams, so a transfer is capped by the most
+// contended link on its path: partitions that balance the crossing streams
+// across NICs and racks sustain more bandwidth than ones that funnel them,
+// even at equal total cut. An unbound task on a multi-node machine roams and
+// is counted on every link. A no-op on single-machine topologies.
 func SetFabricContention(mach *numasim.Machine, a *Assignment, m *comm.Matrix) {
-	if mach.Topology().NumClusterNodes() <= 1 {
+	topo := mach.Topology()
+	nodes := topo.NumClusterNodes()
+	if nodes <= 1 {
 		return
 	}
-	streams := 0
+	nic := make([]int, nodes)
+	var uplink []int
+	if r := topo.NumRacks(); r > 0 {
+		uplink = make([]int, r)
+	}
 	for i := 0; i < m.Order() && i < len(a.TaskPU); i++ {
+		crossesNode, crossesRack, partnerUnbound, hasTraffic := false, false, false, false
 		for j := 0; j < m.Order() && j < len(a.TaskPU); j++ {
 			if i == j || m.At(i, j)+m.At(j, i) == 0 {
 				continue
 			}
-			pi, pj := a.TaskPU[i], a.TaskPU[j]
-			if pi < 0 || pj < 0 || mach.ClusterNodeOfPU(pi) != mach.ClusterNodeOfPU(pj) {
-				streams++
-				break
+			hasTraffic = true
+			pj := a.TaskPU[j]
+			if a.TaskPU[i] < 0 || pj < 0 {
+				partnerUnbound = true
+				continue
+			}
+			ci, cj := mach.ClusterNodeOfPU(a.TaskPU[i]), mach.ClusterNodeOfPU(pj)
+			if ci != cj {
+				crossesNode = true
+				if !mach.SameRack(ci, cj) {
+					crossesRack = true
+				}
+			}
+		}
+		switch {
+		case !hasTraffic:
+			// A task that exchanges no volume contributes no stream, bound
+			// or not (the old global model's guard, preserved).
+		case a.TaskPU[i] < 0:
+			// An unbound endpoint can stream over any link; count it on all
+			// of them, the conservative reading of the old global model.
+			for n := range nic {
+				nic[n]++
+			}
+			for r := range uplink {
+				uplink[r]++
+			}
+		case crossesNode || partnerUnbound:
+			// A bound task whose partner is unbound may end up streaming
+			// anywhere, so its own NIC — and uplink — carry the stream.
+			nic[mach.ClusterNodeOfPU(a.TaskPU[i])]++
+			if len(uplink) > 0 && (crossesRack || partnerUnbound) {
+				uplink[mach.RackOfClusterNode(mach.ClusterNodeOfPU(a.TaskPU[i]))]++
 			}
 		}
 	}
-	mach.SetFabricStreams(streams)
+	mach.SetFabricLinkStreams(nic, uplink)
 }

@@ -29,6 +29,14 @@ type Defaults struct {
 	// NetBandwidth is the per-link bandwidth of the cluster fabric in
 	// bytes/second.
 	NetBandwidth float64
+	// UplinkLatencyCycles is the per-link latency of one rack uplink (top-of-
+	// rack switch to spine) in cycles; a message between nodes in different
+	// racks traverses two NIC links plus two uplinks.
+	UplinkLatencyCycles float64
+	// UplinkBandwidth is the per-uplink bandwidth in bytes/second. The uplink
+	// is shared by every stream leaving the rack, so it is the scarce resource
+	// of a multi-switch fabric.
+	UplinkBandwidth float64
 }
 
 // DefaultAttrs returns physical constants plausible for the 2016-era large
@@ -54,6 +62,13 @@ func DefaultAttrs() Defaults {
 		// decisively more than any intra-machine path.
 		NetLatencyCycles: 4000,
 		NetBandwidth:     1.25e9,
+		// Rack uplinks (ToR to spine): a trunked 2×10GbE-class link with the
+		// extra store-and-forward latency of the spine tier. Twice the NIC
+		// bandwidth, but shared by a whole rack's worth of crossing streams —
+		// crossing a rack boundary costs decisively more than staying under
+		// one switch.
+		UplinkLatencyCycles: 8000,
+		UplinkBandwidth:     2.5e9,
 	}
 }
 
@@ -83,6 +98,7 @@ func (l specLevel) total(nParents int) (int, error) {
 
 var kindTokens = map[string]Kind{
 	"machine": Machine,
+	"rack":    Rack,
 	"cluster": Cluster,
 	"group":   Group,
 	"pack":    Package,
@@ -139,7 +155,21 @@ func FromSpec(spec string) (*Topology, error) {
 // The spelling "node" normally denotes a NUMA node; it is promoted to the
 // cluster level only when it is the first token and a group or package level
 // follows (a NUMA level above sockets would be ill-ordered, so the
-// reinterpretation is unambiguous and backwards compatible).
+// reinterpretation is unambiguous and backwards compatible), or when it
+// directly follows a rack level (see below).
+//
+// A multi-switch fabric is expressed with a rack tier above the cluster
+// level:
+//
+//	rack:2 node:4 pack:2 core:8    two racks of four 16-core machines
+//	rack:2 cluster:4 core:16       the same node count, flat 16-core nodes
+//
+// Racks carry the per-uplink (top-of-rack switch to spine) latency and
+// bandwidth in their attributes, cluster nodes the per-NIC link attributes;
+// messages between nodes of the same rack traverse two NIC links, messages
+// between racks two NIC links plus two uplinks. A rack tier requires a
+// cluster (node) tier below it — "rack:2 core:8" is rejected, because a rack
+// of cores is not a fabric.
 func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 	fields := strings.Fields(spec)
 	if len(fields) == 0 {
@@ -172,9 +202,16 @@ func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 		names = append(names, name)
 	}
 	// Promote a leading "node" to the cluster level when a group or package
-	// token follows: "node:4 pack:2 core:8" describes a 4-machine cluster.
+	// token follows ("node:4 pack:2 core:8" describes a 4-machine cluster),
+	// and any "node" directly after a rack level (under a rack, the node tier
+	// can only mean cluster nodes).
 	if names[0] == "node" && len(levels) > 1 && levels[1].kind < NUMANode {
 		levels[0].kind = Cluster
+	}
+	for i := 1; i < len(levels); i++ {
+		if names[i] == "node" && levels[i-1].kind == Rack {
+			levels[i].kind = Cluster
+		}
 	}
 	seen := map[Kind]bool{}
 	for _, l := range levels {
@@ -184,7 +221,10 @@ func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 		seen[l.kind] = true
 	}
 	if !sort.SliceIsSorted(levels, func(i, j int) bool { return levels[i].kind < levels[j].kind }) {
-		return nil, fmt.Errorf("topology: kinds must appear in root-to-leaf order (machine, cluster, group, pack, numa, l3, l2, l1, core, pu)")
+		return nil, fmt.Errorf("topology: kinds must appear in root-to-leaf order (machine, rack, cluster, group, pack, numa, l3, l2, l1, core, pu)")
+	}
+	if seen[Rack] && !seen[Cluster] {
+		return nil, fmt.Errorf("topology: a rack tier requires a node (cluster) tier below it, as in %q", "rack:2 node:4 pack:2 core:8")
 	}
 	levels = normalize(levels)
 
@@ -238,8 +278,8 @@ func normalize(levels []specLevel) []specLevel {
 // canonicalSpec renders the normalized levels back into a spec string.
 func canonicalSpec(levels []specLevel) string {
 	names := map[Kind]string{
-		Cluster: "cluster", Group: "group", Package: "pack", NUMANode: "numa",
-		L3: "l3", L2: "l2", L1: "l1", Core: "core", PU: "pu",
+		Rack: "rack", Cluster: "cluster", Group: "group", Package: "pack",
+		NUMANode: "numa", L3: "l3", L2: "l2", L1: "l1", Core: "core", PU: "pu",
 	}
 	parts := make([]string, len(levels))
 	for i, l := range levels {
@@ -298,6 +338,11 @@ func attrFor(k Kind, def Defaults) Attr {
 		return Attr{
 			LatencyCycles:        def.NetLatencyCycles,
 			BandwidthBytesPerSec: def.NetBandwidth,
+		}
+	case Rack:
+		return Attr{
+			LatencyCycles:        def.UplinkLatencyCycles,
+			BandwidthBytesPerSec: def.UplinkBandwidth,
 		}
 	default:
 		return Attr{}

@@ -33,11 +33,18 @@ type Kind int
 const (
 	// Machine is the root of every topology.
 	Machine Kind = iota
+	// Rack is one rack (switch group) of a multi-switch cluster fabric: the
+	// cluster nodes below a Rack share a top-of-rack switch, and traffic
+	// between different Racks additionally traverses the rack uplinks to the
+	// spine. Each Rack object carries the per-uplink latency and bandwidth in
+	// its Attr; the root of a topology with Racks stands for the spine
+	// switch.
+	Rack
 	// Cluster is a cluster node: one shared-memory machine of a simulated
 	// multi-machine cluster. PUs under different Cluster objects do not share
 	// memory; data crossing the boundary travels over the interconnect
-	// fabric, whose per-link latency and bandwidth the Cluster objects carry
-	// in their Attr.
+	// fabric, whose per-link (NIC) latency and bandwidth the Cluster objects
+	// carry in their Attr.
 	Cluster
 	// Group is an intermediate structural level (e.g. a board or blade in a
 	// large SMP such as the 24-socket machine of the paper).
@@ -60,6 +67,7 @@ const (
 
 var kindNames = [numKinds]string{
 	Machine:  "Machine",
+	Rack:     "Rack",
 	Cluster:  "Cluster",
 	Group:    "Group",
 	Package:  "Package",
@@ -149,6 +157,7 @@ type Topology struct {
 	cores    []*Object
 	numa     []*Object
 	clusters []*Object
+	racks    []*Object
 	spec     string // the normalized spec the topology was built from
 }
 
@@ -258,6 +267,30 @@ func (t *Topology) SameClusterNode(a, b *Object) bool {
 	}
 	ca, cb := t.ClusterNodeOf(a), t.ClusterNodeOf(b)
 	return ca != nil && ca == cb
+}
+
+// Racks returns the rack (switch-group) objects in left-to-right order, or
+// an empty slice when the cluster fabric is flat (single switch) or the
+// topology is one machine.
+func (t *Topology) Racks() []*Object { return t.racks }
+
+// NumRacks returns the number of racks; a topology without a rack level is a
+// single-switch fabric and reports 0.
+func (t *Topology) NumRacks() int { return len(t.racks) }
+
+// RackOf returns the rack the object belongs to, or nil on a single-switch
+// fabric.
+func (t *Topology) RackOf(o *Object) *Object { return o.Ancestor(Rack) }
+
+// SameRack reports whether two objects hang under the same top-of-rack
+// switch: always true on a topology without a rack level (a flat fabric is
+// one big rack), and true otherwise exactly when they share a Rack ancestor.
+func (t *Topology) SameRack(a, b *Object) bool {
+	if len(t.racks) == 0 {
+		return true
+	}
+	ra, rb := t.RackOf(a), t.RackOf(b)
+	return ra != nil && ra == rb
 }
 
 // SMT reports whether the topology has hyperthreading, i.e. cores with more
@@ -382,6 +415,9 @@ func (t *Topology) Validate() error {
 	if len(t.numa) == 0 {
 		return fmt.Errorf("topology: no NUMA node level")
 	}
+	if len(t.racks) > 0 && len(t.clusters) == 0 {
+		return fmt.Errorf("topology: rack level without a cluster-node level below it")
+	}
 	if len(t.pus) != len(last) {
 		return fmt.Errorf("topology: PU index lists %d PUs, leaf level has %d", len(t.pus), len(last))
 	}
@@ -426,6 +462,8 @@ func build(root *Object, spec string) *Topology {
 			t.numa = lv
 		case Cluster:
 			t.clusters = lv
+		case Rack:
+			t.racks = lv
 		}
 	}
 	return t

@@ -47,7 +47,7 @@ func PartitionAcross(m *comm.Matrix, k int, opt Options) ([][]int, error) {
 
 	var best [][]int
 	bestIntra := -1.0
-	bestStreams := 0
+	bestStreams, bestPeak := 0, 0
 	consider := func(groups [][]int, err error) error {
 		if err != nil {
 			return err
@@ -56,13 +56,16 @@ func PartitionAcross(m *comm.Matrix, k int, opt Options) ([][]int, error) {
 			refineGroups(work, groups, passes)
 		}
 		// Maximum intra-group volume == minimum cut (the total is fixed).
-		// Among equal cuts, prefer the partition in which fewer entities
-		// touch the cut at all: every crossing entity is one more stream
-		// contending for the fabric links.
+		// Among equal cuts, prefer the partition whose most exposed group
+		// sends the fewest streams across the boundary, then the one with
+		// the fewest crossing entities overall: per-link fabric contention
+		// is set by the most contended NIC, so balancing the crossing
+		// streams matters even at equal cut volume.
 		v := intraVolume(work, groups)
-		s := crossingEntities(work, groups)
-		if v > bestIntra || (v == bestIntra && s < bestStreams) {
-			bestIntra, bestStreams = v, s
+		s, peak := crossingStats(work, groups)
+		if v > bestIntra ||
+			(v == bestIntra && (peak < bestPeak || (peak == bestPeak && s < bestStreams))) {
+			bestIntra, bestStreams, bestPeak = v, s, peak
 			best = groups
 		}
 		return nil
@@ -87,6 +90,17 @@ func PartitionAcross(m *comm.Matrix, k int, opt Options) ([][]int, error) {
 	if err := consider(coarsenPartition(work, k, passes)); err != nil {
 		return nil, err
 	}
+	// Split-finer-then-merge: partition into 2k half-size groups first, then
+	// pair-merge them by aggregated affinity. The fine groups come out
+	// compact, so the merged partition tends towards blocky shapes whose
+	// crossing streams are balanced across the groups — the layouts direct
+	// k-way grouping and recursive bisection miss when an equal-cut slice
+	// partition exists.
+	if k > 1 && per%2 == 0 && per > 1 {
+		if err := consider(mergeFinePartition(work, k, passes)); err != nil {
+			return nil, err
+		}
+	}
 
 	out := make([][]int, k)
 	for gi, g := range best {
@@ -97,6 +111,24 @@ func PartitionAcross(m *comm.Matrix, k int, opt Options) ([][]int, error) {
 		}
 	}
 	return out, nil
+}
+
+// PartitionAcrossMatrix runs PartitionAcross and additionally emits the
+// aggregated group-to-group matrix: entry (a,b) is the volume the tasks of
+// group a exchange with those of group b (the diagonal holds intra-group
+// volume). This matrix is what three-level placement treematch-maps onto the
+// fabric tree (FabricTree) to decide which cluster node — and hence which
+// rack — each group lands on.
+func PartitionAcrossMatrix(m *comm.Matrix, k int, opt Options) ([][]int, *comm.Matrix, error) {
+	groups, err := PartitionAcross(m, k, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	agg, err := m.Aggregate(groups)
+	if err != nil {
+		return nil, nil, err
+	}
+	return groups, agg, nil
 }
 
 // bisectPartition splits the given entities (len(ids) divisible by k) into k
@@ -139,6 +171,25 @@ func bisectPartition(m *comm.Matrix, ids []int, k, passes int) ([][]int, error) 
 			return nil, err
 		}
 		out = append(out, deeper...)
+	}
+	return out, nil
+}
+
+// mergeFinePartition is the split-finer-then-merge candidate: 2k fine groups
+// of half the capacity, aggregated into a 2k-order matrix, then paired into
+// the final k groups by affinity.
+func mergeFinePartition(m *comm.Matrix, k, passes int) ([][]int, error) {
+	fine := GroupProcesses(m, m.Order()/(2*k), passes)
+	agg, err := m.Aggregate(fine)
+	if err != nil {
+		return nil, err
+	}
+	pairs := GroupProcesses(agg, 2, passes)
+	out := make([][]int, k)
+	for gi, pr := range pairs {
+		for _, f := range pr {
+			out[gi] = append(out[gi], fine[f]...)
+		}
 	}
 	return out, nil
 }
@@ -311,26 +362,33 @@ func refineGroups(m *comm.Matrix, groups [][]int, passes int) {
 	}
 }
 
-// crossingEntities counts the entities with at least one positive-volume
-// edge leaving their group: the number of streams a partition sends across
-// the boundary.
-func crossingEntities(m *comm.Matrix, groups [][]int) int {
+// crossingStats counts the entities with at least one positive-volume edge
+// leaving their group — the streams a partition sends across the fabric —
+// in total and for the most exposed single group (the bottleneck NIC under
+// per-link contention).
+func crossingStats(m *comm.Matrix, groups [][]int) (total, peak int) {
 	group := make([]int, m.Order())
 	for gi, g := range groups {
 		for _, e := range g {
 			group[e] = gi
 		}
 	}
-	n := 0
+	perGroup := make([]int, len(groups))
 	for i := 0; i < m.Order(); i++ {
 		for j := 0; j < m.Order(); j++ {
 			if i != j && group[i] != group[j] && m.At(i, j)+m.At(j, i) > 0 {
-				n++
+				total++
+				perGroup[group[i]]++
 				break
 			}
 		}
 	}
-	return n
+	for _, n := range perGroup {
+		if n > peak {
+			peak = n
+		}
+	}
+	return total, peak
 }
 
 // intraVolume returns the total communication volume kept inside the groups

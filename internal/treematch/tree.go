@@ -10,6 +10,20 @@
 // above, the matrix is aggregated over the groups, and the procedure recurses
 // until the root. The resulting hierarchy of groups is then matched to the
 // topology tree, assigning every process to a leaf (MapGroups).
+//
+// # Objective function and units
+//
+// The package optimizes a structural objective: minimize the sum over all
+// entity pairs of (declared volume in bytes) × (tree hop distance between
+// the assigned leaves) — see Cost. The node-level partitioner
+// (PartitionAcross) minimizes the cut volume in bytes, preferring, among
+// equal cuts, the partition whose most exposed group sends the fewest
+// crossing streams. Nothing in this package is priced in cycles: hop
+// distances are dimensionless tree metrics, and how many cycles a byte at a
+// given distance actually costs is the machine simulator's business
+// (internal/numasim). The two views agree on direction but not exactly on
+// magnitude — see the discrepancy note in internal/comm's package
+// documentation.
 package treematch
 
 import (
@@ -97,6 +111,34 @@ func NodeSubtree(t *topology.Topology, leaf topology.Kind) (*Tree, error) {
 	if tree.Leaves()*nodes != len(t.Level(leafDepth)) {
 		return nil, fmt.Errorf("treematch: internal error: %d abstract leaves per node for %d %v objects on %d nodes",
 			tree.Leaves(), len(t.Level(leafDepth)), leaf, nodes)
+	}
+	return tree, nil
+}
+
+// FabricTree derives the abstract balanced tree of the interconnect fabric
+// of a clustered topology: its leaves are the cluster nodes, its internal
+// levels the switch tiers above them (the machine root as the spine, racks
+// as top-of-rack switches). On a flat single-switch fabric the tree has a
+// single level whose arity is the node count — every permutation of leaves
+// prices identically there, which is why hierarchical placement only runs a
+// group→node matching when the fabric has at least two tiers. Mapping the
+// aggregated group-to-group matrix onto this tree (MapMatrix) is the top
+// stage of three-level placement: racks, then nodes, then cores.
+func FabricTree(t *topology.Topology) (*Tree, error) {
+	clusterDepth := t.DepthOf(topology.Cluster)
+	if clusterDepth < 0 {
+		return nil, fmt.Errorf("treematch: topology has no cluster level, so no fabric tree")
+	}
+	tree, err := treeBetween(t, 0, clusterDepth)
+	if err != nil {
+		return nil, err
+	}
+	// treeBetween collapses arity-1 tiers, which only drop factors of 1, so
+	// the leaf count always equals the cluster-node count; the check is a
+	// defensive invariant, mirroring FromTopology and NodeSubtree.
+	if tree.Leaves() != len(t.ClusterNodes()) {
+		return nil, fmt.Errorf("treematch: internal error: fabric tree has %d leaves for %d cluster nodes",
+			tree.Leaves(), len(t.ClusterNodes()))
 	}
 	return tree, nil
 }
