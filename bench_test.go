@@ -221,6 +221,33 @@ func BenchmarkAblationRack(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationHetero is ablation A11: the pod-skewed stencil on a
+// heterogeneous three-switch-level platform under capacity- and depth-aware
+// placement, the capacity-blind variant, and the depth-blind variant.
+func BenchmarkAblationHetero(b *testing.B) {
+	cfg := experiment.HeteroConfig{Seed: 42} // defaults: 2 pods x 2 racks x (8+4) cores
+	var rows []experiment.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiment.AblationHetero(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		b.ReportMetric(r.Seconds, metricUnit(r.Name))
+		byName[r.Name] = r.Seconds
+	}
+	// The A11 acceptance property, enforced at bench time too: capacity-
+	// aware depth-aware placement strictly beats the capacity-blind
+	// variant, which strictly beats the depth-blind one.
+	aware, capBlind, depthBlind := byName["hetero/aware"], byName["hetero/capacity-blind"], byName["hetero/depth-blind"]
+	if !(aware < capBlind && capBlind < depthBlind) {
+		b.Fatalf("capacity- and depth-aware placement did not win: %+v", byName)
+	}
+}
+
 // BenchmarkTreeMatchFullScale measures the mapping algorithm itself on the
 // paper's full problem: the 1728-operation LK23 affinity matrix onto the
 // 24×8 machine (runs at program launch in the real system, so its cost

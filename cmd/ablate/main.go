@@ -13,6 +13,7 @@
 //	ablate -exp adaptive    # epoch-based adaptive re-placement (A8)
 //	ablate -exp cluster     # multi-node hierarchical placement (A9)
 //	ablate -exp rack        # rack-tier fabric, three-level placement (A10)
+//	ablate -exp hetero      # heterogeneous pod-tier platform (A11)
 //	ablate -full            # paper-scale matrix and iterations
 package main
 
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, all")
+		exp   = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, all")
 		full  = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations, 192 cores; overrides -rows/-cols/-iters/-cores)")
 		seed  = flag.Int64("seed", 7, "simulated OS scheduler seed")
 		rows  = flag.Int("rows", 4096, "matrix rows (reduced scale)")
@@ -63,6 +64,9 @@ func main() {
 		}},
 		{"rack", "A10: rack-tier fabric (fabric-aware vs fabric-blind vs flat treematch)", func(c experiment.Config) ([]experiment.AblationRow, error) {
 			return experiment.AblationRack(experiment.RackConfigFrom(c))
+		}},
+		{"hetero", "A11: heterogeneous pod-tier platform (aware vs capacity-blind vs depth-blind)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			return experiment.AblationHetero(experiment.HeteroConfigFrom(c))
 		}},
 	}
 

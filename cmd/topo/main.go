@@ -3,8 +3,10 @@
 //
 //	topo -spec "pack:24 l3:1 core:8 pu:1"
 //	topo -spec "pack:2 numa:2 core:4 pu:2" -latency
-//	topo -spec "node:4 pack:2 core:8"          # a 4-machine cluster
-//	topo -spec "rack:2 node:4 pack:2 core:8"   # two racks of 4 machines
+//	topo -spec "node:4 pack:2 core:8"                # a 4-machine cluster
+//	topo -spec "rack:2 node:4 pack:2 core:8"         # two racks of 4 machines
+//	topo -spec "pod:2 rack:2 node:2 pack:1 core:4"   # three switch tiers
+//	topo -spec "rack:2 node:{pack:2 core:8 | pack:1 core:4}"  # heterogeneous
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/topology"
 )
@@ -30,8 +33,19 @@ func main() {
 }
 
 // run renders the topology report for a spec onto w; it is the whole
-// command behind the flag parsing, separated so tests can drive it.
+// command behind the flag parsing, separated so tests can drive it. Specs
+// are parsed through the platform grammar first, so heterogeneous
+// per-member forms render too; plain specs pass through unchanged.
 func run(spec string, latency bool, w io.Writer) error {
+	if ps, err := topology.ParsePlatform(spec); err == nil {
+		if fused, err := ps.FusedSpec(); err == nil {
+			spec = fused
+		}
+	} else if strings.Contains(spec, "{") {
+		// Braced member lists exist only in the platform grammar; its error
+		// names the offending member, FromSpec's would not.
+		return err
+	}
 	topo, err := topology.FromSpec(spec)
 	if err != nil {
 		return err

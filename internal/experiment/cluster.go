@@ -80,12 +80,22 @@ func (c ClusterConfig) Validate() error {
 	return nil
 }
 
-// Cluster builds the simulated cluster for a configuration.
-func Cluster(cfg ClusterConfig) (*numasim.Cluster, error) {
+// Cluster builds the simulated cluster for a configuration via the
+// spec-driven platform path. A Fabric.Racks override still splits the
+// nodes across that many top-of-rack switches, as the legacy constructor
+// did.
+func Cluster(cfg ClusterConfig) (*numasim.Platform, error) {
 	cfg = cfg.withDefaults()
 	nodeSpec := fmt.Sprintf("pack:%d l3:1 core:%d pu:1",
 		cfg.CoresPerNode/cfg.CoresPerSocket, cfg.CoresPerSocket)
-	return numasim.NewCluster(cfg.Nodes, nodeSpec, cfg.Fabric, numasim.Config{})
+	spec := fmt.Sprintf("cluster:%d %s", cfg.Nodes, nodeSpec)
+	if r := cfg.Fabric.Racks; r > 1 {
+		if cfg.Nodes%r != 0 {
+			return nil, fmt.Errorf("experiment: %d cluster nodes not divisible across %d racks", cfg.Nodes, r)
+		}
+		spec = fmt.Sprintf("rack:%d cluster:%d %s", r, cfg.Nodes/r, nodeSpec)
+	}
+	return numasim.NewPlatformAttrs(spec, cfg.Fabric.Defaults(), numasim.Config{})
 }
 
 // ClusterModes lists the placement arms of the cluster ablation in report

@@ -3,6 +3,7 @@ package experiment
 import (
 	"testing"
 
+	"repro/internal/numasim"
 	"repro/internal/orwl"
 	"repro/internal/placement"
 )
@@ -144,5 +145,21 @@ func TestClusterAdaptive(t *testing.T) {
 	}
 	if st.Rebinds != 0 {
 		t.Errorf("stationary cluster stencil triggered %d rebinds; hysteresis should hold the hierarchical placement", st.Rebinds)
+	}
+}
+
+// TestClusterHonorsFabricRacks pins that the platform-path builder still
+// honors the legacy Fabric.Racks override (the old NewCluster path split
+// the nodes across top-of-rack switches; the spec-driven path must too).
+func TestClusterHonorsFabricRacks(t *testing.T) {
+	c, err := Cluster(ClusterConfig{Nodes: 4, Fabric: numasim.Fabric{Racks: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Racks(); got != 2 {
+		t.Fatalf("Fabric.Racks=2 built %d racks", got)
+	}
+	if _, err := Cluster(ClusterConfig{Nodes: 4, CoresPerNode: 12, CoresPerSocket: 6, Fabric: numasim.Fabric{Racks: 3}}); err == nil {
+		t.Error("4 nodes across 3 racks accepted")
 	}
 }

@@ -1,0 +1,381 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/numasim"
+	"repro/internal/orwl"
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+// The heterogeneous-platform experiment (A11) exercises the spec-driven
+// Platform API end to end: a three-switch-level fabric (NICs under
+// top-of-rack switches under pod switches under the core switch) whose racks
+// each hold one big and one small node — mixed node generations, the shape
+// real clusters grow into. The workload is a pod-skewed stencil: heavy
+// traffic inside node-capacity-sized blocks plus a medium pair exchange
+// between one big and one small block, paired so that the positional
+// (identity) group→node assignment sends every pair across the pod
+// boundary, while a capacity-class-constrained fabric matching can co-locate
+// each pair under one top-of-rack switch.
+//
+// Three placement arms isolate the two new mechanisms:
+//
+//   - aware: capacity-weighted partition (an 8-core node receives an 8-task
+//     block, a 4-core node a 4-task block) plus the class-constrained
+//     fabric matching — pairs share racks, nobody is oversubscribed;
+//   - capacity-blind: equal shares ceil(p/k) regardless of node size — the
+//     partition must cut the heavy blocks and the small nodes oversubscribe;
+//   - depth-blind: capacity-weighted but no fabric matching — every pair
+//     exchange climbs to the pod uplinks, the scarcest links of the fabric.
+//
+// The acceptance property, asserted in tests and at bench time, is
+// aware < capacity-blind < depth-blind.
+
+// HeteroConfig parameterizes one heterogeneous pod-tier stencil run.
+type HeteroConfig struct {
+	// Pods is the number of pod switches (default 2, minimum 2 so the pod
+	// uplinks exist).
+	Pods int
+	// RacksPerPod is the number of top-of-rack switches per pod (default 2).
+	RacksPerPod int
+	// BigCores and SmallCores shape the two node generations of each rack
+	// (defaults 8 and 4); each rack holds one node of either kind.
+	BigCores, SmallCores int
+	// CoresPerSocket shapes the sockets of both node kinds (default 4).
+	CoresPerSocket int
+	// Iters is the number of stencil iterations (default 20).
+	Iters int
+	// BlockBytes is each task's working set (default 2 MiB).
+	BlockBytes int64
+	// HaloBytes is the per-iteration volume exchanged between grid
+	// neighbours inside a node-sized block (default 512 KiB — heavy enough
+	// that a capacity-blind equal split, which must cut the big blocks,
+	// pays visibly for every severed grid edge).
+	HaloBytes float64
+	// PairBytes is the per-iteration volume between slot-aligned tasks of
+	// partnered big/small blocks (default 96 KiB): the traffic whose rack-
+	// vs-pod placement the ablation isolates. Unlike the rack scenario's
+	// one-edge-per-task pairing, a small task here carries two pair edges
+	// (both aligned big slots read it), so the per-edge volume must stay
+	// below half a halo edge or the min-cut partition would trade grid
+	// edges inside a big block for pair edges and split the blocks.
+	PairBytes float64
+	// LinkBytes is the light connectivity volume between consecutive blocks
+	// (default 32 KiB).
+	LinkBytes float64
+	// Seed drives the simulated OS scheduler.
+	Seed int64
+}
+
+func (c HeteroConfig) withDefaults() HeteroConfig {
+	if c.Pods == 0 {
+		c.Pods = 2
+	}
+	if c.RacksPerPod == 0 {
+		c.RacksPerPod = 2
+	}
+	if c.BigCores == 0 {
+		c.BigCores = 8
+	}
+	if c.SmallCores == 0 {
+		c.SmallCores = 4
+	}
+	if c.CoresPerSocket == 0 {
+		c.CoresPerSocket = 4
+	}
+	if c.Iters == 0 {
+		c.Iters = 20
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 2 << 20
+	}
+	if c.HaloBytes == 0 {
+		c.HaloBytes = 512 << 10
+	}
+	if c.PairBytes == 0 {
+		c.PairBytes = 96 << 10
+	}
+	if c.LinkBytes == 0 {
+		c.LinkBytes = 32 << 10
+	}
+	return c
+}
+
+// Validate rejects configurations the hetero pipeline cannot run.
+func (c HeteroConfig) Validate() error {
+	d := c.withDefaults()
+	switch {
+	case d.Pods < 2:
+		return fmt.Errorf("experiment: hetero scenario needs at least 2 pods, got %d", d.Pods)
+	case d.Pods%2 != 0:
+		return fmt.Errorf("experiment: hetero scenario needs an even pod count so every pair can cross pods, got %d", d.Pods)
+	case d.RacksPerPod < 1:
+		return fmt.Errorf("experiment: invalid racks per pod %d", d.RacksPerPod)
+	case d.BigCores <= d.SmallCores:
+		return fmt.Errorf("experiment: big nodes (%d cores) must exceed small nodes (%d cores)", d.BigCores, d.SmallCores)
+	case d.SmallCores < 1:
+		return fmt.Errorf("experiment: invalid small node size %d", d.SmallCores)
+	case d.BigCores%d.CoresPerSocket != 0 || d.SmallCores%d.CoresPerSocket != 0:
+		return fmt.Errorf("experiment: node sizes %d/%d not divisible into sockets of %d", d.BigCores, d.SmallCores, d.CoresPerSocket)
+	case d.Iters < 1:
+		return fmt.Errorf("experiment: iteration count %d must be positive", d.Iters)
+	case d.BlockBytes < 0 || d.HaloBytes < 0 || d.PairBytes < 0 || d.LinkBytes < 0:
+		return fmt.Errorf("experiment: negative volume in hetero config")
+	}
+	return nil
+}
+
+// HeteroPlatformSpec renders the platform spec of the configuration: a pod
+// tier, a rack tier, and two nodes per rack cycling through the big and
+// small member machines.
+func HeteroPlatformSpec(cfg HeteroConfig) string {
+	cfg = cfg.withDefaults()
+	big := fmt.Sprintf("pack:%d l3:1 core:%d pu:1", cfg.BigCores/cfg.CoresPerSocket, cfg.CoresPerSocket)
+	small := fmt.Sprintf("pack:%d l3:1 core:%d pu:1", cfg.SmallCores/cfg.CoresPerSocket, cfg.CoresPerSocket)
+	return fmt.Sprintf("pod:%d rack:%d node:2{%s | %s}", cfg.Pods, cfg.RacksPerPod, big, small)
+}
+
+// HeteroPlatform builds the simulated heterogeneous pod-tier platform. Like
+// the rack scenario, the uplinks default to oversubscribed single trunks of
+// NIC-class bandwidth — every stream leaving a rack (or a pod) funnels
+// through one 10GbE-class link — so climbing the fabric pays in bandwidth
+// as well as latency.
+func HeteroPlatform(cfg HeteroConfig) (*numasim.Platform, error) {
+	cfg = cfg.withDefaults()
+	def := topology.DefaultAttrs()
+	def.UplinkBandwidth = def.NetBandwidth
+	def.PodUplinkBandwidth = def.NetBandwidth
+	return numasim.NewPlatformAttrs(HeteroPlatformSpec(cfg), def, numasim.Config{})
+}
+
+// HeteroModes lists the placement arms of the hetero ablation in report
+// order: the fully aware policy first (the speedup base), then the
+// capacity-blind and depth-blind variants.
+func HeteroModes() []string {
+	return []string{"aware", "capacity-blind", "depth-blind"}
+}
+
+// heteroPolicy returns the placement policy of one ablation arm.
+func heteroPolicy(mode string) (placement.Policy, error) {
+	switch mode {
+	case "aware":
+		return placement.Hierarchical{}, nil
+	case "capacity-blind":
+		return placement.Hierarchical{CapacityBlind: true}, nil
+	case "depth-blind":
+		return placement.Hierarchical{NoFabricMatch: true}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown hetero mode %q", mode)
+	}
+}
+
+// heteroBlockSizes returns the per-node block sizes of the scenario, in
+// fused node order (big, small, big, small, ...).
+func heteroBlockSizes(cfg HeteroConfig) []int {
+	cfg = cfg.withDefaults()
+	nodes := cfg.Pods * cfg.RacksPerPod * 2
+	sizes := make([]int, nodes)
+	for i := range sizes {
+		if i%2 == 0 {
+			sizes[i] = cfg.BigCores
+		} else {
+			sizes[i] = cfg.SmallCores
+		}
+	}
+	return sizes
+}
+
+// heteroPairOf returns the partner block of each block: big block of rank i
+// pairs with the small block of rank i + nbig/2 (mod nbig), so that under
+// the positional identity assignment every pair straddles the pod boundary,
+// while each rack's big+small capacity profile admits a rack-local matching.
+func heteroPairOf(sizes []int) []int {
+	nbig := len(sizes) / 2
+	pair := make([]int, len(sizes))
+	for i := 0; i < nbig; i++ {
+		big := 2 * i
+		small := 2*((i+nbig/2)%nbig) + 1
+		pair[big] = small
+		pair[small] = big
+	}
+	return pair
+}
+
+// buildHeteroStencil constructs the pod-skewed heterogeneous stencil: one
+// task per core, grouped into node-capacity-sized blocks. Task s of block b
+//
+//   - reads HaloBytes from its grid neighbours inside the block (a 2-row
+//     stencil grid, the heavy coupling that makes the blocks the min-cut
+//     partition groups),
+//   - exchanges PairBytes with the slot-aligned task of the partner block
+//     (big slot s reads small slot s mod |small|; the pod-decisive medium
+//     traffic),
+//   - and, for slot 0 only, exchanges LinkBytes with the neighbouring
+//     blocks (light connectivity so the affinity graph is one component).
+//
+// All volumes are whole bytes; the run is bit-deterministic.
+func buildHeteroStencil(rt *orwl.Runtime, cfg HeteroConfig) error {
+	cfg = cfg.withDefaults()
+	sizes := heteroBlockSizes(cfg)
+	pair := heteroPairOf(sizes)
+	blocks := len(sizes)
+	base := make([]int, blocks) // first task index of each block
+	n := 0
+	for b, sz := range sizes {
+		base[b] = n
+		n += sz
+	}
+	locs := make([]*orwl.Location, n)
+	for b, sz := range sizes {
+		for s := 0; s < sz; s++ {
+			locs[base[b]+s] = rt.NewLocation(fmt.Sprintf("blk%d.%d", b, s), cfg.BlockBytes)
+		}
+	}
+	cells := float64(cfg.BlockBytes / 8)
+	for b, sz := range sizes {
+		for s := 0; s < sz; s++ {
+			i := base[b] + s
+			task := rt.AddTask(fmt.Sprintf("t%d.%d", b, s), nil)
+			var reads []*orwl.Handle
+			addRead := func(peer int, vol float64) {
+				reads = append(reads, task.NewHandleVol(locs[peer], orwl.Read, vol, 0))
+			}
+			// Heavy stencil grid inside the block: 2 rows of sz/2 columns
+			// (one row when the block is too narrow).
+			gw := sz / 2
+			if gw < 1 {
+				gw = 1
+			}
+			sx, sy := s%gw, s/gw
+			for _, d := range [][2]int{{0, -1}, {0, 1}, {1, 0}, {-1, 0}} {
+				nx, ny := sx+d[0], sy+d[1]
+				if nx < 0 || nx >= gw || ny < 0 || ny*gw+nx >= sz {
+					continue
+				}
+				addRead(base[b]+ny*gw+nx, cfg.HaloBytes)
+			}
+			// Medium pair exchange with the slot-aligned partner task.
+			addRead(base[pair[b]]+s%sizes[pair[b]], cfg.PairBytes)
+			// Light connectivity ring over the blocks.
+			if s == 0 && blocks > 2 {
+				addRead(base[(b+1)%blocks], cfg.LinkBytes)
+				addRead(base[(b+blocks-1)%blocks], cfg.LinkBytes)
+			}
+			w := task.NewHandleVol(locs[i], orwl.Write, cfg.HaloBytes, 1)
+			region := locs[i].Region()
+			block := cfg.BlockBytes
+			task.SetFunc(func(t *orwl.Task) error {
+				for it := 0; it < cfg.Iters; it++ {
+					last := it == cfg.Iters-1
+					for _, h := range reads {
+						if err := h.Acquire(); err != nil {
+							return err
+						}
+						if err := releaseOrNext(h, last); err != nil {
+							return err
+						}
+					}
+					if err := w.Acquire(); err != nil {
+						return err
+					}
+					if p := t.Proc(); p != nil {
+						p.Compute(11 * cells)
+						p.SweepWorkingSet(region, block)
+					}
+					if err := releaseOrNext(w, last); err != nil {
+						return err
+					}
+					t.EndIteration()
+				}
+				return nil
+			})
+		}
+	}
+	return nil
+}
+
+// RunHetero executes the heterogeneous pod-tier stencil under one placement
+// mode and returns its simulated processing time.
+func RunHetero(mode string, cfg HeteroConfig) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg = cfg.withDefaults()
+	pol, err := heteroPolicy(mode)
+	if err != nil {
+		return Result{}, err
+	}
+	platform, err := HeteroPlatform(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	mach := platform.Machine()
+	rt := orwl.NewRuntime(orwl.Options{Machine: mach, Seed: cfg.Seed})
+	if err := buildHeteroStencil(rt, cfg); err != nil {
+		return Result{}, err
+	}
+	a, err := placement.Place(rt, pol)
+	if err != nil {
+		return Result{}, err
+	}
+	placement.SetContention(mach, a, nil)
+	placement.SetFabricContention(mach, a, rt.CommMatrix())
+	if err := rt.Run(); err != nil {
+		return Result{}, err
+	}
+	tasks := mach.Topology().NumCores()
+	return Result{
+		Impl:     ORWLBind,
+		Cores:    tasks,
+		Blocks:   platform.Nodes(),
+		Tasks:    tasks,
+		Seconds:  rt.MakespanSeconds(),
+		Policy:   a.Policy,
+		Strategy: a.Strategy.String(),
+	}, nil
+}
+
+// AblationHetero (A11) compares the placement arms on the heterogeneous
+// pod-tier stencil.
+func AblationHetero(cfg HeteroConfig) ([]AblationRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	var rows []AblationRow
+	for _, mode := range HeteroModes() {
+		res, err := RunHetero(mode, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation hetero, %s: %w", mode, err)
+		}
+		rows = append(rows, AblationRow{
+			Name:    "hetero/" + mode,
+			Seconds: res.Seconds,
+			Detail: fmt.Sprintf("%d pods x %d racks x (%d+%d) cores",
+				cfg.Pods, cfg.RacksPerPod, cfg.BigCores, cfg.SmallCores),
+		})
+	}
+	return rows, nil
+}
+
+// HeteroConfigFrom derives the hetero configuration from the common ablation
+// Config: 2 pods of fixed big+small racks, the rack count scaled so the
+// total core count comes close to cfg.Cores (each rack carries
+// BigCores+SmallCores = 12 cores; the Detail column of every A11 row prints
+// the effective shape). The node shapes stay fixed because the scenario's
+// volume ratios are calibrated per node; scale comes from more racks per
+// pod, which is also how real pods grow.
+func HeteroConfigFrom(cfg Config) HeteroConfig {
+	cfg = cfg.withDefaults()
+	perPod := cfg.Cores / 24
+	if perPod < 1 {
+		perPod = 1
+	}
+	return HeteroConfig{
+		Pods:        2,
+		RacksPerPod: perPod,
+		Seed:        cfg.Seed,
+	}
+}

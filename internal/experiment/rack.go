@@ -113,17 +113,15 @@ func (c RackConfig) Validate() error {
 	return nil
 }
 
-// RackCluster builds the simulated multi-switch cluster for a configuration.
-// Unless overridden, the rack uplink is an oversubscribed single trunk of
-// NIC-class bandwidth — the classic 2016 rack, where every stream leaving
-// the rack funnels through one 10GbE-class uplink — so rack-crossing
-// traffic pays for itself in bandwidth as well as latency.
-func RackCluster(cfg RackConfig) (*numasim.Cluster, error) {
+// RackCluster builds the simulated multi-switch cluster for a configuration
+// via the spec-driven platform path. Unless overridden, the rack uplink is
+// an oversubscribed single trunk of NIC-class bandwidth — the classic 2016
+// rack, where every stream leaving the rack funnels through one 10GbE-class
+// uplink — so rack-crossing traffic pays for itself in bandwidth as well as
+// latency.
+func RackCluster(cfg RackConfig) (*numasim.Platform, error) {
 	cfg = cfg.withDefaults()
-	nodeSpec := fmt.Sprintf("pack:%d l3:1 core:%d pu:1",
-		cfg.CoresPerNode/cfg.CoresPerSocket, cfg.CoresPerSocket)
 	fabric := cfg.Fabric
-	fabric.Racks = cfg.Racks
 	if fabric.UplinkBandwidthBytesPerSec == 0 {
 		bw := fabric.LinkBandwidthBytesPerSec
 		if bw == 0 {
@@ -131,7 +129,9 @@ func RackCluster(cfg RackConfig) (*numasim.Cluster, error) {
 		}
 		fabric.UplinkBandwidthBytesPerSec = bw
 	}
-	return numasim.NewCluster(cfg.Racks*cfg.NodesPerRack, nodeSpec, fabric, numasim.Config{})
+	spec := fmt.Sprintf("rack:%d node:%d pack:%d l3:1 core:%d pu:1",
+		cfg.Racks, cfg.NodesPerRack, cfg.CoresPerNode/cfg.CoresPerSocket, cfg.CoresPerSocket)
+	return numasim.NewPlatformAttrs(spec, fabric.Defaults(), numasim.Config{})
 }
 
 // RackModes lists the placement arms of the rack ablation in report order:

@@ -2,28 +2,53 @@ package numasim
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/topology"
 )
 
-// Cluster is a simulated multi-machine cluster: a set of identical member
-// Machines joined by an interconnect fabric priced with per-link latency and
-// bandwidth. The cluster is simulated through a single fused Machine whose
-// topology carries a cluster level above the per-node trees, so that lock
-// handoffs and region pulls crossing a node boundary charge network cycles
-// instead of cache or memory cycles (see Machine.TransferCost). The member
-// Machines expose each node's shared-memory view for per-node placement
-// (hierarchical TreeMatch runs Algorithm 1 on one member's topology).
-type Cluster struct {
+// Platform is a simulated multi-machine cluster built from a single topology
+// spec: a set of (possibly heterogeneous) member Machines joined by an
+// interconnect fabric of any depth — flat single-switch, racked (ToR +
+// spine), or pod-tiered (ToR + pod switch + core switch) — priced with
+// per-level link latency and bandwidth. The platform is simulated through a
+// single fused Machine whose topology carries the fabric tiers above the
+// per-node trees, so that lock handoffs and region pulls crossing a node
+// boundary charge network cycles instead of cache or memory cycles (see
+// Machine.TransferCost). The member Machines expose each node's
+// shared-memory view for per-node placement (hierarchical TreeMatch runs
+// Algorithm 1 on one member's topology).
+type Platform struct {
 	fused   *Machine
 	members []*Machine
 	fabric  Fabric
+	levels  []FabricLevel
 }
 
-// Fabric describes the cluster interconnect. Zero fields take the defaults
-// of topology.DefaultAttrs (a 2016-era 10-Gigabit-Ethernet class network
-// with 2×10GbE-class rack uplinks).
+// Cluster is the former name of Platform.
+//
+// Deprecated: use Platform (and NewPlatform instead of NewCluster).
+type Cluster = Platform
+
+// FabricLevel describes the links of one fabric tier, innermost first:
+// level 0 the per-node NIC links, level 1 the rack uplinks, level 2 the pod
+// uplinks.
+type FabricLevel struct {
+	// LatencyCycles is the per-link latency of one link at this level in CPU
+	// cycles; a message traverses both endpoint links of every level below
+	// (and including) the first tier the endpoints share.
+	LatencyCycles float64
+	// BandwidthBytesPerSec is the per-link bandwidth at this level, shared by
+	// every stream declared to cross the link.
+	BandwidthBytesPerSec float64
+}
+
+// Fabric describes a flat or racked cluster interconnect, the legacy
+// parameter block of NewCluster. Zero fields take the defaults of
+// topology.DefaultAttrs (a 2016-era 10-Gigabit-Ethernet class network with
+// 2×10GbE-class rack uplinks).
+//
+// Deprecated: express the fabric in the platform spec and override link
+// attributes via NewPlatformAttrs; this struct cannot describe a pod tier.
 type Fabric struct {
 	// LinkLatencyCycles is the latency of one fabric (NIC) link in CPU
 	// cycles; a message between two nodes of the same switch traverses two
@@ -45,12 +70,102 @@ type Fabric struct {
 	UplinkBandwidthBytesPerSec float64
 }
 
+// Defaults merges the fabric's non-zero fields onto topology.DefaultAttrs,
+// the bridge from the legacy parameter block to the spec-driven platform
+// path.
+func (f Fabric) Defaults() topology.Defaults {
+	def := topology.DefaultAttrs()
+	if f.LinkLatencyCycles > 0 {
+		def.NetLatencyCycles = f.LinkLatencyCycles
+	}
+	if f.LinkBandwidthBytesPerSec > 0 {
+		def.NetBandwidth = f.LinkBandwidthBytesPerSec
+	}
+	if f.UplinkLatencyCycles > 0 {
+		def.UplinkLatencyCycles = f.UplinkLatencyCycles
+	}
+	if f.UplinkBandwidthBytesPerSec > 0 {
+		def.UplinkBandwidth = f.UplinkBandwidthBytesPerSec
+	}
+	return def
+}
+
+// NewPlatform builds a platform from a full topology spec with default link
+// attributes. The spec names the fabric tiers from the outside in and the
+// member machines, which may differ per node:
+//
+//	cluster:4 pack:2 core:8                          four identical nodes
+//	rack:2 node:2,3 pack:2 core:8                    uneven racks
+//	rack:2 node:{pack:2 core:8 | pack:1 core:4}      heterogeneous members
+//	pod:2 rack:2 node:2{pack:2 core:4 | pack:1 core:4}   three switch tiers
+//
+// See topology.ParsePlatform for the grammar. A spec without fabric tiers
+// yields a single-node platform.
+func NewPlatform(spec string, cfg Config) (*Platform, error) {
+	return NewPlatformAttrs(spec, topology.DefaultAttrs(), cfg)
+}
+
+// NewPlatformAttrs is NewPlatform with explicit physical attributes (link
+// latencies and bandwidths per fabric tier, cache and memory constants for
+// the members).
+func NewPlatformAttrs(spec string, def topology.Defaults, cfg Config) (*Platform, error) {
+	ps, err := topology.ParsePlatform(spec)
+	if err != nil {
+		return nil, fmt.Errorf("numasim: platform spec: %w", err)
+	}
+	fusedSpec, err := ps.FusedSpec()
+	if err != nil {
+		return nil, fmt.Errorf("numasim: platform spec: %w", err)
+	}
+	fusedTopo, err := topology.FromSpecAttrs(fusedSpec, def)
+	if err != nil {
+		return nil, fmt.Errorf("numasim: fused platform spec: %w", err)
+	}
+	fused, err := New(fusedTopo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{fused: fused}
+	for _, lv := range fusedTopo.FabricLevels() {
+		p.levels = append(p.levels, FabricLevel{
+			LatencyCycles:        lv[0].Attr.LatencyCycles,
+			BandwidthBytesPerSec: lv[0].Attr.BandwidthBytesPerSec,
+		})
+	}
+	for i, member := range ps.Members {
+		// Each member gets its own topology instance so per-node state
+		// (accessors, bound Procs) stays independent.
+		mt, err := topology.FromSpecAttrs(member, def)
+		if err != nil {
+			return nil, fmt.Errorf("numasim: platform member %d: %w", i, err)
+		}
+		mm, err := New(mt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.members = append(p.members, mm)
+	}
+	racks := fusedTopo.NumRacks()
+	if racks == 0 {
+		racks = 1
+	}
+	p.fabric = Fabric{
+		LinkLatencyCycles:          def.NetLatencyCycles,
+		LinkBandwidthBytesPerSec:   def.NetBandwidth,
+		Racks:                      racks,
+		UplinkLatencyCycles:        def.UplinkLatencyCycles,
+		UplinkBandwidthBytesPerSec: def.UplinkBandwidth,
+	}
+	return p, nil
+}
+
 // NewCluster builds a cluster of n identical machines, each described by
 // nodeSpec (a single-machine topology spec; it must not itself contain a
-// cluster or rack level). The fused simulation machine is built over the
-// spec "cluster:n nodeSpec" with the fabric's link attributes on the cluster
-// level — or, when fabric.Racks > 1, over "rack:r cluster:n/r nodeSpec"
-// with the uplink attributes on the rack level.
+// fabric tier).
+//
+// Deprecated: use NewPlatform with the fabric tiers in the spec
+// ("cluster:n nodeSpec", or "rack:r cluster:n/r nodeSpec"), and
+// NewPlatformAttrs for link-attribute overrides.
 func NewCluster(n int, nodeSpec string, fabric Fabric, cfg Config) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("numasim: cluster needs at least 1 node, got %d", n)
@@ -62,122 +177,102 @@ func NewCluster(n int, nodeSpec string, fabric Fabric, cfg Config) (*Cluster, er
 	if n%racks != 0 {
 		return nil, fmt.Errorf("numasim: %d cluster nodes not divisible across %d racks", n, racks)
 	}
-	def := topology.DefaultAttrs()
-	if fabric.LinkLatencyCycles > 0 {
-		def.NetLatencyCycles = fabric.LinkLatencyCycles
-	}
-	if fabric.LinkBandwidthBytesPerSec > 0 {
-		def.NetBandwidth = fabric.LinkBandwidthBytesPerSec
-	}
-	if fabric.UplinkLatencyCycles > 0 {
-		def.UplinkLatencyCycles = fabric.UplinkLatencyCycles
-	}
-	if fabric.UplinkBandwidthBytesPerSec > 0 {
-		def.UplinkBandwidth = fabric.UplinkBandwidthBytesPerSec
-	}
-	fabric = Fabric{
-		LinkLatencyCycles:          def.NetLatencyCycles,
-		LinkBandwidthBytesPerSec:   def.NetBandwidth,
-		Racks:                      racks,
-		UplinkLatencyCycles:        def.UplinkLatencyCycles,
-		UplinkBandwidthBytesPerSec: def.UplinkBandwidth,
-	}
-
-	member, err := topology.FromSpecAttrs(nodeSpec, def)
+	member, err := topology.FromSpec(nodeSpec)
 	if err != nil {
 		return nil, fmt.Errorf("numasim: cluster node spec: %w", err)
 	}
-	if len(member.ClusterNodes()) > 0 || len(member.Racks()) > 0 {
-		return nil, fmt.Errorf("numasim: node spec %q already contains a cluster level or rack level", nodeSpec)
+	if len(member.ClusterNodes()) > 0 || member.NumRacks() > 0 || member.NumPods() > 0 {
+		return nil, fmt.Errorf("numasim: node spec %q already contains a cluster level, rack level or pod level", nodeSpec)
 	}
-	fusedSpec := fmt.Sprintf("cluster:%d %s", n, member.Spec())
+	spec := fmt.Sprintf("cluster:%d %s", n, member.Spec())
 	if racks > 1 {
-		fusedSpec = fmt.Sprintf("rack:%d cluster:%d %s", racks, n/racks, member.Spec())
+		spec = fmt.Sprintf("rack:%d cluster:%d %s", racks, n/racks, member.Spec())
 	}
-	fusedTopo, err := topology.FromSpecAttrs(fusedSpec, def)
-	if err != nil {
-		return nil, fmt.Errorf("numasim: fused cluster spec: %w", err)
-	}
-	fused, err := New(fusedTopo, cfg)
-	if err != nil {
-		return nil, err
-	}
-	c := &Cluster{fused: fused, fabric: fabric}
-	for i := 0; i < n; i++ {
-		mm, err := New(member, cfg)
-		if err != nil {
-			return nil, err
-		}
-		c.members = append(c.members, mm)
-		if i+1 < n {
-			// Each member gets its own topology instance so per-node state
-			// (accessors, bound Procs) stays independent.
-			member, err = topology.FromSpecAttrs(member.Spec(), def)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	return c, nil
+	return NewPlatformAttrs(spec, fabric.Defaults(), cfg)
 }
 
 // ClusterFromSpec builds a cluster from a full cluster topology spec such as
 // "node:4 pack:2 core:8", "cluster:2 core:16" or — with a rack tier —
 // "rack:2 node:4 pack:2 core:8". A spec without a cluster level yields a
-// single-node cluster; a rack tier in the spec overrides fabric.Racks.
+// single-node cluster; a rack tier in the spec overrides fabric.Racks, and
+// fabric.Racks > 1 splits a flat spec's nodes across that many racks.
+//
+// Deprecated: use NewPlatform/NewPlatformAttrs, which additionally accept
+// uneven fabric tiers, per-member machine specs and a pod tier.
 func ClusterFromSpec(spec string, fabric Fabric, cfg Config) (*Cluster, error) {
-	t, err := topology.FromSpec(spec)
+	ps, err := topology.ParsePlatform(spec)
 	if err != nil {
 		return nil, err
 	}
-	n := t.NumClusterNodes()
-	nodeSpec := t.Spec()
-	if t.NumRacks() > 0 {
-		fabric.Racks = t.NumRacks()
-	}
-	if len(t.ClusterNodes()) > 0 {
-		// Strip the leading "rack:R" and "cluster:N" tokens of the normalized
-		// spec to recover the per-node machine spec.
-		fields := strings.Fields(nodeSpec)
-		drop := 1
-		if t.NumRacks() > 0 {
-			drop = 2
+	if ps.Racks() == 0 && fabric.Racks > 1 {
+		// The legacy path let the Fabric block impose a rack tier on a flat
+		// spec; reconstruct the platform spec with the tier made explicit.
+		// Only for identical members — rebuilding from Members[0] would
+		// silently homogenize a heterogeneous platform.
+		if !ps.Homogeneous() {
+			return nil, fmt.Errorf("numasim: Fabric.Racks cannot impose a rack tier on heterogeneous members; put the rack tier in the spec")
 		}
-		for _, f := range fields[:drop] {
-			if strings.Contains(f, ",") {
-				return nil, fmt.Errorf("numasim: uneven fabric level %q is not supported", f)
-			}
+		n := ps.Nodes()
+		if n%fabric.Racks != 0 {
+			return nil, fmt.Errorf("numasim: %d cluster nodes not divisible across %d racks", n, fabric.Racks)
 		}
-		nodeSpec = strings.Join(fields[drop:], " ")
+		spec = fmt.Sprintf("rack:%d cluster:%d %s", fabric.Racks, n/fabric.Racks, ps.Members[0])
 	}
-	return NewCluster(n, nodeSpec, fabric, cfg)
+	return NewPlatformAttrs(spec, fabric.Defaults(), cfg)
 }
 
-// Machine returns the fused cluster-wide simulation machine the runtime
+// Machine returns the fused platform-wide simulation machine the runtime
 // executes on: PUs, cores and NUMA nodes of all members in left-to-right
 // order, with fabric-priced cross-node costs.
-func (c *Cluster) Machine() *Machine { return c.fused }
+func (c *Platform) Machine() *Machine { return c.fused }
 
 // Nodes returns the number of cluster nodes.
-func (c *Cluster) Nodes() int { return len(c.members) }
+func (c *Platform) Nodes() int { return len(c.members) }
 
 // Node returns the i-th member machine: the shared-memory view of one
 // cluster node, used for per-node placement.
-func (c *Cluster) Node(i int) *Machine { return c.members[i] }
+func (c *Platform) Node(i int) *Machine { return c.members[i] }
 
-// Fabric returns the effective interconnect parameters.
-func (c *Cluster) Fabric() Fabric { return c.fabric }
+// NodeCores returns the number of physical cores of the i-th member, the
+// capacity weight of capacity-aware partitioning.
+func (c *Platform) NodeCores(i int) int { return c.members[i].Topology().NumCores() }
+
+// Heterogeneous reports whether the members differ in core count.
+func (c *Platform) Heterogeneous() bool {
+	for i := 1; i < len(c.members); i++ {
+		if c.NodeCores(i) != c.NodeCores(0) {
+			return true
+		}
+	}
+	return false
+}
+
+// FabricLevels returns the per-level link attributes of the fabric,
+// innermost first (NICs, then rack uplinks, then pod uplinks). Empty on a
+// single-node platform.
+func (c *Platform) FabricLevels() []FabricLevel {
+	return append([]FabricLevel(nil), c.levels...)
+}
+
+// Fabric returns the effective interconnect parameters of the NIC and
+// rack-uplink tiers.
+//
+// Deprecated: use FabricLevels, which also reports a pod tier.
+func (c *Platform) Fabric() Fabric { return c.fabric }
 
 // Racks returns the number of top-of-rack switches (1 on a flat fabric).
-func (c *Cluster) Racks() int {
+func (c *Platform) Racks() int {
 	if r := c.fused.Topology().NumRacks(); r > 0 {
 		return r
 	}
 	return 1
 }
 
+// Pods returns the number of pod switches (0 without a pod tier).
+func (c *Platform) Pods() int { return c.fused.Topology().NumPods() }
+
 // RackOfNode returns the rack index of a cluster node (0 on a flat fabric).
-func (c *Cluster) RackOfNode(i int) int { return c.fused.RackOfClusterNode(i) }
+func (c *Platform) RackOfNode(i int) int { return c.fused.RackOfClusterNode(i) }
 
 // NodeOfPU returns the cluster-node index owning a fused-machine PU.
-func (c *Cluster) NodeOfPU(pu int) int { return c.fused.ClusterNodeOfPU(pu) }
+func (c *Platform) NodeOfPU(pu int) int { return c.fused.ClusterNodeOfPU(pu) }

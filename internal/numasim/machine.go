@@ -29,10 +29,11 @@
 // Intra-machine charges derive from cache/memory latencies and bandwidths;
 // transfers that cross a cluster-node boundary charge network cycles
 // instead — the accumulated per-link latency of the actual hop path (NIC
-// links, plus rack uplinks across racks; fabricLatencyCycles) and streaming
-// at the bottleneck link bandwidth, each link shared by its declared
-// crossing streams (SetFabricLinkStreams, or the machine-wide
-// SetFabricStreams fallback). The simulator prices whatever placement it is
+// links, plus rack uplinks across racks and pod uplinks across pods;
+// fabricLatencyCycles) and streaming at the bottleneck link bandwidth, each
+// link shared by its declared crossing streams (per-level SetLinkStreams, or
+// the machine-wide SetFabricStreams fallback). The simulator prices whatever
+// placement it is
 // given; it does not optimize. The placement side optimizes a structural
 // byte×hop objective whose units never appear here — internal/comm's
 // package documentation records where the two models are known to diverge.
@@ -40,6 +41,7 @@ package numasim
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/topology"
@@ -125,9 +127,16 @@ type Machine struct {
 	cnodeOf []int
 	// cnodeOfNUMA[node] is the cluster-node index of each NUMA node.
 	cnodeOfNUMA []int
-	// rackOfCnode[c] is the rack index of each cluster node; nil on a
-	// single-switch fabric (no rack tier).
-	rackOfCnode []int
+	// fabricLevels[l] lists the link objects of fabric level l, innermost
+	// first: level 0 the cluster nodes (NIC links), level 1 the racks (ToR
+	// uplinks), level 2 the pods (pod uplinks) — see topology.FabricLevels.
+	// Nil on single-machine topologies.
+	fabricLevels [][]*topology.Object
+	// fabricGroupOf[l][c] is the index, within fabric level l, of cluster
+	// node c's ancestor (the identity at level 0). Two cluster nodes'
+	// hop path includes both endpoint links of every level where their
+	// group indices differ.
+	fabricGroupOf [][]int
 	// l3Share[pu] is the slice of the innermost shared cache a PU can count
 	// on, in bytes (cache size / PUs sharing it).
 	l3Share []int64
@@ -142,17 +151,19 @@ type Machine struct {
 	remoteStreams int
 	// fabricStreams is the static number of streams crossing cluster-node
 	// boundaries in steady state, the machine-wide fallback contention model:
-	// every fabric link's bandwidth is shared among all of them. It applies
-	// only while the per-link counts below are unset.
+	// every fabric link's bandwidth is shared among all of them. A fabric
+	// level applies it only while that level's per-link counts are unset.
 	fabricStreams int
-	// nicStreams[c], when non-nil, is the number of crossing streams touching
-	// cluster node c's NIC link; uplinkStreams[r] the number of streams
-	// leaving rack r over its uplink. Per-link counts replace the global
-	// fabricStreams model: a transfer is capped by the most contended link on
-	// its path, so balancing the crossing streams across NICs and uplinks
-	// recovers bandwidth that the global model would average away.
-	nicStreams    []int
-	uplinkStreams []int
+	// linkStreams[l][i], when linkStreams[l] is non-nil, is the number of
+	// crossing streams touching link i of fabric level l (level 0: cluster
+	// node i's NIC; level 1: rack i's uplink; level 2: pod i's uplink).
+	// Per-link counts replace the global fabricStreams model level by level:
+	// a transfer is capped by the most contended link on its hop path, so
+	// balancing the crossing streams across the links of every level
+	// recovers bandwidth that the global model would average away. The outer
+	// slice is replaced wholesale on every update (copy-on-write), so a
+	// snapshot taken under the lock stays consistent outside it.
+	linkStreams [][]int
 	// boundPerPU counts bound Procs per PU. SMT compute inflation applies
 	// when at least two PUs of the same core are occupied (hyperthread
 	// sharing); several Procs time-multiplexed on one PU do not inflate —
@@ -202,10 +213,15 @@ func New(topo *topology.Topology, cfg Config) (*Machine, error) {
 			m.cnodeOfNUMA[n] = c.LevelIndex
 		}
 	}
-	if topo.NumRacks() > 0 {
-		m.rackOfCnode = make([]int, len(topo.ClusterNodes()))
-		for c, node := range topo.ClusterNodes() {
-			m.rackOfCnode[c] = topo.RackOf(node).LevelIndex
+	if levels := topo.FabricLevels(); len(levels) > 0 {
+		m.fabricLevels = levels
+		m.fabricGroupOf = make([][]int, len(levels))
+		for l, lv := range levels {
+			kind := lv[0].Kind
+			m.fabricGroupOf[l] = make([]int, len(topo.ClusterNodes()))
+			for c, node := range topo.ClusterNodes() {
+				m.fabricGroupOf[l][c] = node.Ancestor(kind).LevelIndex
+			}
 		}
 	}
 	for i := range m.accessors {
@@ -282,8 +298,7 @@ func (m *Machine) ResetAccessors() {
 	}
 	m.remoteStreams = 0
 	m.fabricStreams = 0
-	m.nicStreams = nil
-	m.uplinkStreams = nil
+	m.linkStreams = nil
 	m.mu.Unlock()
 }
 
@@ -310,91 +325,148 @@ func (m *Machine) RemoteStreams() int {
 // SetFabricStreams declares the machine-wide fallback fabric contention: how
 // many streams cross cluster-node boundaries in steady state, every fabric
 // link's bandwidth shared equally among all of them. 0 disables the cap. Any
-// per-link counts previously declared with SetFabricLinkStreams are cleared —
-// the two models are alternatives, the per-link one strictly finer. A no-op
+// per-link counts previously declared with SetLinkStreams are cleared — the
+// two models are alternatives, the per-level one strictly finer. A no-op
 // concern on single-machine topologies, where nothing crosses.
+//
+// Deprecated: declare per-level counts with SetLinkStreams; this remains as
+// the global-fallback setter behind them.
 func (m *Machine) SetFabricStreams(n int) {
 	if n < 0 {
 		n = 0
 	}
 	m.mu.Lock()
 	m.fabricStreams = n
-	m.nicStreams = nil
-	m.uplinkStreams = nil
+	m.linkStreams = nil
 	m.mu.Unlock()
 }
 
 // FabricStreams returns the declared machine-wide fabric contention degree
-// (the fallback model; 0 while per-link counts are in force or when nothing
-// was declared).
+// (the fallback model): 0 once every fabric level carries per-link counts —
+// the global count is then out of force everywhere — and the declared count
+// otherwise, because levels without per-link counts still price against it.
 func (m *Machine) FabricStreams() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.nicStreams != nil {
-		return 0
+	if len(m.fabricLevels) > 0 && len(m.linkStreams) == len(m.fabricLevels) {
+		all := true
+		for _, ls := range m.linkStreams {
+			if ls == nil {
+				all = false
+				break
+			}
+		}
+		if all {
+			return 0
+		}
 	}
 	return m.fabricStreams
 }
 
-// SetFabricLinkStreams declares the per-link fabric contention: nic[c] is the
-// number of crossing streams touching cluster node c's NIC link, uplink[r]
-// the number of streams leaving rack r over its uplink (ignored on a
-// single-switch fabric; may be nil there). A transfer is capped by the most
-// contended link on its hop path — source NIC, source uplink, target uplink,
-// target NIC — so a placement that balances the crossing streams across
-// nodes and racks sustains more bandwidth than one that funnels them through
-// a single link, even at equal total cut. Placement code derives the counts
+// NumFabricLevels returns the number of link levels of the cluster fabric,
+// innermost first: 0 on a single machine, 1 on a flat (single-switch)
+// cluster (the NIC links), 2 with a rack tier (+ ToR uplinks), 3 with a pod
+// tier (+ pod uplinks).
+func (m *Machine) NumFabricLevels() int { return len(m.fabricLevels) }
+
+// FabricLevelSize returns the number of links at a fabric level (the number
+// of cluster nodes, racks, or pods).
+func (m *Machine) FabricLevelSize(level int) int { return len(m.fabricLevels[level]) }
+
+// FabricGroupOf returns the index, within the given fabric level, of the
+// group containing cluster node c (at level 0, c itself). Two cluster nodes'
+// transfer traverses both endpoint links of every level where their group
+// indices differ.
+func (m *Machine) FabricGroupOf(level, c int) int { return m.fabricGroupOf[level][c] }
+
+// SetLinkStreams declares the per-link fabric contention of one level:
+// counts[i] is the number of crossing streams touching link i of that level
+// (level 0: cluster node i's NIC; level 1: rack i's uplink; level 2: pod i's
+// uplink). A transfer is capped by the most contended link on its hop path,
+// so a placement that balances the crossing streams across the links of
+// every level sustains more bandwidth than one that funnels them through a
+// single link, even at equal total cut. Placement code derives the counts
 // from the task layout and affinity matrix (placement.SetFabricContention).
-// While per-link counts are set they take precedence over the global model;
-// passing nil slices reverts to whatever SetFabricStreams last declared.
-// Mis-sized slices panic (a programming error, like an out-of-range index):
-// zero-filling missing links would silently model them as uncontended.
-func (m *Machine) SetFabricLinkStreams(nic, uplink []int) {
+// While a level's counts are set they take precedence over the global model
+// at that level; passing nil reverts the level to whatever SetFabricStreams
+// last declared. A mis-sized slice panics (a programming error, like an
+// out-of-range index): zero-filling missing links would silently model them
+// as uncontended.
+func (m *Machine) SetLinkStreams(level int, counts []int) {
+	if level < 0 || level >= len(m.fabricLevels) {
+		panic(fmt.Sprintf("numasim: SetLinkStreams level %d on a %d-level fabric", level, len(m.fabricLevels)))
+	}
+	if counts != nil && len(counts) != len(m.fabricLevels[level]) {
+		panic(fmt.Sprintf("numasim: SetLinkStreams got %d counts for %d links at fabric level %d",
+			len(counts), len(m.fabricLevels[level]), level))
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Copy-on-write on the outer slice: effectiveBandwidth snapshots it under
+	// the lock and reads the snapshot outside, so in-place mutation would
+	// race.
+	next := make([][]int, len(m.fabricLevels))
+	copy(next, m.linkStreams)
+	if counts == nil {
+		next[level] = nil
+	} else {
+		next[level] = append([]int(nil), counts...)
+	}
+	m.linkStreams = next
+}
+
+// LinkStreams returns the declared crossing-stream count of link i at the
+// given fabric level, falling back to the global fabric-stream count while
+// the level's per-link counts are unset.
+func (m *Machine) LinkStreams(level, i int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if level >= len(m.linkStreams) || m.linkStreams[level] == nil {
+		return m.fabricStreams
+	}
+	return m.linkStreams[level][i]
+}
+
+// SetFabricLinkStreams declares the per-link fabric contention of the NIC
+// and rack-uplink levels: nic[c] is the number of crossing streams touching
+// cluster node c's NIC link, uplink[r] the number of streams leaving rack r
+// over its uplink (ignored on a single-switch fabric; may be nil there).
+// Passing a nil nic slice reverts every level to the global model.
+//
+// Deprecated: use SetLinkStreams, which addresses any fabric depth — this
+// wrapper cannot declare pod-uplink counts.
+func (m *Machine) SetFabricLinkStreams(nic, uplink []int) {
 	if nic == nil {
-		m.nicStreams, m.uplinkStreams = nil, nil
+		m.mu.Lock()
+		m.linkStreams = nil
+		m.mu.Unlock()
 		return
 	}
-	nodes, racks := len(m.topo.ClusterNodes()), len(m.topo.Racks())
-	if len(nic) != nodes {
+	if nodes := len(m.topo.ClusterNodes()); len(nic) != nodes {
 		panic(fmt.Sprintf("numasim: SetFabricLinkStreams got %d NIC counts for %d cluster nodes", len(nic), nodes))
 	}
-	if racks > 0 && len(uplink) != racks {
+	if racks := len(m.topo.Racks()); racks > 0 && len(uplink) != racks {
 		panic(fmt.Sprintf("numasim: SetFabricLinkStreams got %d uplink counts for %d racks", len(uplink), racks))
 	}
-	m.nicStreams = append([]int(nil), nic...)
-	m.uplinkStreams = nil
-	if racks > 0 {
-		m.uplinkStreams = append([]int(nil), uplink...)
+	m.SetLinkStreams(0, nic)
+	if len(m.topo.Racks()) > 0 {
+		m.SetLinkStreams(1, uplink)
 	}
 }
 
 // NICStreams returns the declared crossing-stream count of cluster node c's
 // NIC link, falling back to the global fabric-stream count when no per-link
 // counts are set.
-func (m *Machine) NICStreams(c int) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.nicStreams == nil {
-		return m.fabricStreams
-	}
-	return m.nicStreams[c]
-}
+func (m *Machine) NICStreams(c int) int { return m.LinkStreams(0, c) }
 
 // UplinkStreams returns the declared crossing-stream count of rack r's
 // uplink, falling back to the global fabric-stream count when no per-link
 // counts are set (and 0 on a single-switch fabric).
 func (m *Machine) UplinkStreams(r int) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.uplinkStreams == nil {
-		if m.rackOfCnode == nil {
-			return 0
-		}
-		return m.fabricStreams
+	if len(m.fabricLevels) < 2 {
+		return 0
 	}
-	return m.uplinkStreams[r]
+	return m.LinkStreams(1, r)
 }
 
 // ClusterNodeOfPU returns the cluster-node index of a PU (0 on a single
@@ -408,30 +480,34 @@ func (m *Machine) ClusterNodeOfNode(node int) int { return m.cnodeOfNUMA[node] }
 // RackOfClusterNode returns the rack index of a cluster node (0 on a
 // single-switch fabric, where every node hangs off one switch).
 func (m *Machine) RackOfClusterNode(c int) int {
-	if m.rackOfCnode == nil {
+	if len(m.fabricGroupOf) < 2 {
 		return 0
 	}
-	return m.rackOfCnode[c]
+	return m.fabricGroupOf[1][c]
 }
 
 // SameRack reports whether two cluster nodes share a top-of-rack switch
 // (always true on a single-switch fabric).
 func (m *Machine) SameRack(fromC, toC int) bool {
-	return m.rackOfCnode == nil || m.rackOfCnode[fromC] == m.rackOfCnode[toC]
+	return len(m.fabricGroupOf) < 2 || m.fabricGroupOf[1][fromC] == m.fabricGroupOf[1][toC]
 }
 
 // fabricLatencyCycles accumulates the per-link latency of the actual hop
-// path between two distinct cluster nodes: both endpoint NIC links
-// (node → ToR switch and ToR → node), plus — when the nodes sit in different
-// racks — both rack uplinks (ToR → spine and spine → ToR). On a
-// single-switch fabric this is the familiar two-link price.
+// path between two distinct cluster nodes, walking the fabric tree from the
+// NICs outward: at every level where the nodes' groups differ, the message
+// traverses both endpoint links of that level (node → ToR and ToR → node;
+// across racks additionally ToR → spine and spine → ToR; across pods the
+// pod uplinks on top). On a single-switch fabric this is the familiar
+// two-link price. The walk stops at the first level the endpoints share,
+// because group containment is hierarchical.
 func (m *Machine) fabricLatencyCycles(fromC, toC int) float64 {
-	cn := m.topo.ClusterNodes()
-	lat := cn[fromC].Attr.LatencyCycles + cn[toC].Attr.LatencyCycles
-	if !m.SameRack(fromC, toC) {
-		racks := m.topo.Racks()
-		lat += racks[m.rackOfCnode[fromC]].Attr.LatencyCycles +
-			racks[m.rackOfCnode[toC]].Attr.LatencyCycles
+	var lat float64
+	for l, links := range m.fabricLevels {
+		gf, gt := m.fabricGroupOf[l][fromC], m.fabricGroupOf[l][toC]
+		if gf == gt {
+			break
+		}
+		lat += links[gf].Attr.LatencyCycles + links[gt].Attr.LatencyCycles
 	}
 	return lat
 }
@@ -439,22 +515,21 @@ func (m *Machine) fabricLatencyCycles(fromC, toC int) float64 {
 // fabricBandwidth returns the bytes/second a stream between two distinct
 // cluster nodes can sustain: the bottleneck over the links of its hop path,
 // each link's bandwidth shared among the streams declared to cross it
-// (nic/uplink from SetFabricLinkStreams), or among all crossing streams
+// (per-level counts from SetLinkStreams), or among all crossing streams
 // under the global fallback count (SetFabricStreams). The stream-count
 // state is passed in by the caller — effectiveBandwidth snapshots it under
 // the machine lock it already holds, so the hot path takes the lock once.
-// The path is source NIC → [source uplink → target uplink] → target NIC;
-// the uplink legs exist only when the nodes are in different racks.
-func (m *Machine) fabricBandwidth(fromC, toC int, nic, uplink []int, global int) float64 {
-	cn := m.topo.ClusterNodes()
-	bw := shareLink(cn[fromC].Attr.BandwidthBytesPerSec, linkStreams(nic, fromC, global))
-	if b := shareLink(cn[toC].Attr.BandwidthBytesPerSec, linkStreams(nic, toC, global)); b < bw {
-		bw = b
-	}
-	if !m.SameRack(fromC, toC) {
-		racks := m.topo.Racks()
-		for _, r := range [2]int{m.rackOfCnode[fromC], m.rackOfCnode[toC]} {
-			if b := shareLink(racks[r].Attr.BandwidthBytesPerSec, linkStreams(uplink, r, global)); b < bw {
+// The path includes, at every fabric level where the endpoints' groups
+// differ, both endpoint links of that level.
+func (m *Machine) fabricBandwidth(fromC, toC int, streams [][]int, global int) float64 {
+	bw := math.Inf(1)
+	for l, links := range m.fabricLevels {
+		gf, gt := m.fabricGroupOf[l][fromC], m.fabricGroupOf[l][toC]
+		if gf == gt {
+			break
+		}
+		for _, g := range [2]int{gf, gt} {
+			if b := shareLink(links[g].Attr.BandwidthBytesPerSec, levelLinkStreams(streams, l, g, global)); b < bw {
 				bw = b
 			}
 		}
@@ -462,13 +537,13 @@ func (m *Machine) fabricBandwidth(fromC, toC int, nic, uplink []int, global int)
 	return bw
 }
 
-// linkStreams returns the contention degree of one fabric link: its
-// per-link count when declared, the global fallback otherwise.
-func linkStreams(perLink []int, i, global int) int {
-	if perLink == nil {
+// levelLinkStreams returns the contention degree of one fabric link: its
+// level's per-link count when declared, the global fallback otherwise.
+func levelLinkStreams(streams [][]int, level, i, global int) int {
+	if level >= len(streams) || streams[level] == nil {
 		return global
 	}
-	return perLink[i]
+	return streams[level][i]
 }
 
 // shareLink divides a link's bandwidth among its crossing streams.
@@ -494,14 +569,14 @@ func (m *Machine) effectiveBandwidth(pu, node int) float64 {
 	// Snapshot the fabric stream state in the same critical section; the
 	// slices are replaced wholesale, never mutated in place, so reading the
 	// snapshot outside the lock is safe.
-	nic, uplink, global := m.nicStreams, m.uplinkStreams, m.fabricStreams
+	streams, global := m.linkStreams, m.fabricStreams
 	m.mu.Unlock()
 	bw := nodeObj.Attr.BandwidthBytesPerSec / float64(acc)
 	if m.nodeOf[pu] == node {
 		return bw
 	}
 	if m.cnodeOf[pu] != m.cnodeOfNUMA[node] {
-		if link := m.fabricBandwidth(m.cnodeOf[pu], m.cnodeOfNUMA[node], nic, uplink, global); link < bw {
+		if link := m.fabricBandwidth(m.cnodeOf[pu], m.cnodeOfNUMA[node], streams, global); link < bw {
 			bw = link
 		}
 		return bw

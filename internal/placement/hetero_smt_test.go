@@ -1,0 +1,48 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/numasim"
+)
+
+// TestHierarchicalPerNodeSMTWays pins that hierarchical placement derives
+// hyperthread availability per node: on a platform mixing an SMT member
+// with a non-SMT one, the SMT node's control threads still ride the
+// co-hyperthreads (the fused machine's global minimum would be 1 and deny
+// the pairing everywhere).
+func TestHierarchicalPerNodeSMTWays(t *testing.T) {
+	p, err := numasim.NewPlatform("node:{pack:1 core:4 pu:2 | pack:1 core:2 pu:1}", numasim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := p.Machine()
+	topo := mach.Topology()
+	// Six tasks in a light ring: capacities 4/2 put four on the SMT node.
+	m := comm.Ring(6, 100)
+	a, err := Hierarchical{}.Assign(mach, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paired := 0
+	for task, pu := range a.TaskPU {
+		if mach.ClusterNodeOfPU(pu) != 0 {
+			continue
+		}
+		ctl := a.ControlPU[task]
+		if ctl < 0 {
+			t.Errorf("task %d on the SMT node has no control binding", task)
+			continue
+		}
+		tp, cp := topo.PU(pu), topo.PU(ctl)
+		if tp.Parent != cp.Parent {
+			t.Errorf("task %d: control PU %d not on the same core as task PU %d", task, ctl, pu)
+			continue
+		}
+		paired++
+	}
+	if paired != 4 {
+		t.Errorf("%d tasks hyperthread-paired on the SMT node, want 4", paired)
+	}
+}

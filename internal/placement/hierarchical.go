@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/comm"
@@ -9,19 +10,25 @@ import (
 	"repro/internal/treematch"
 )
 
-// Hierarchical is the multi-level placement policy for clustered machines:
+// Hierarchical is the multi-level placement policy for clustered platforms:
 // the task graph is first partitioned across the cluster nodes with a cut-
-// minimizing grouping (treematch.PartitionAcross) — every cut byte crosses
+// minimizing, capacity-weighted grouping (treematch.PartitionAcrossWeighted:
+// group sizes proportional to node core counts, so a heterogeneous
+// platform's small nodes are not oversubscribed) — every cut byte crosses
 // the interconnect fabric, so the node-level cut dominates the cost — and
 // the ordinary Algorithm 1 then maps each node's task group onto that
-// node's intra-machine tree from the group's sub-matrix. On a machine
+// node's own intra-machine tree from the group's sub-matrix. On a machine
 // without a cluster level it degrades to the plain TreeMatch policy.
 //
-// On a multi-switch fabric (a topology with a rack tier) placement is
-// three-level: the aggregated group-to-group matrix is itself treematch-
-// mapped onto the fabric tree (treematch.FabricTree), so groups that
-// exchange heavy residual volume land in the same rack and only light
-// traffic crosses the rack uplinks. On a flat single-switch fabric every
+// On a multi-switch fabric (a topology with a rack tier, and optionally a
+// pod tier above) placement is three-level: the aggregated group-to-group
+// matrix is itself matched onto the fabric tree, so groups that exchange
+// heavy residual volume land in the same rack (and pod) and only light
+// traffic crosses the uplinks. On homogeneous platforms the matching is the
+// unconstrained treematch mapping (treematch.MapMatrix); on heterogeneous
+// ones it is the capacity-class-constrained matching
+// (treematch.AssignClassed), because a group sized for an 8-core node can
+// only run on an 8-core node. On a flat single-switch fabric every
 // group-to-node assignment prices identically, so the matching is skipped
 // and group g runs on node g, which keeps the result deterministic.
 //
@@ -37,10 +44,16 @@ type Hierarchical struct {
 	NoDistribute bool
 	// NoFabricMatch disables the group→node matching on multi-switch
 	// fabrics, pinning partition group g to cluster node g as on a flat
-	// fabric. This is the fabric-blind arm of ablation A10: the node-level
-	// cut is still minimized, but where each group lands relative to the
-	// rack boundaries is left to chance.
+	// fabric. This is the fabric-blind (depth-blind) arm of ablations A10
+	// and A11: the node-level cut is still minimized, but where each group
+	// lands relative to the rack and pod boundaries is left to chance.
 	NoFabricMatch bool
+	// CapacityBlind disables the capacity weighting of the node-level
+	// partition, giving every node the equal share ceil(p/k) regardless of
+	// its core count. This is the capacity-blind arm of ablation A11: on a
+	// heterogeneous platform the small nodes oversubscribe and the large
+	// ones idle.
+	CapacityBlind bool
 }
 
 // Name implements Policy.
@@ -62,43 +75,63 @@ func (p Hierarchical) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment
 		return a, nil
 	}
 
-	nodeTree, err := treematch.NodeSubtree(topo, topology.Core)
+	nodeTrees, err := treematch.NodeSubtrees(topo, topology.Core)
 	if err != nil {
 		return nil, err
 	}
-	coresPerNode := topo.NumCores() / nodes
+	// Per-node core capacities and each node's first core index in the fused
+	// machine's left-to-right core order.
+	caps := make([]int, nodes)
+	coreBase := make([]int, nodes)
+	hetero := false
+	for i, tree := range nodeTrees {
+		caps[i] = tree.Leaves()
+		if i > 0 {
+			coreBase[i] = coreBase[i-1] + caps[i-1]
+			if caps[i] != caps[0] {
+				hetero = true
+			}
+		}
+	}
 
 	// Level 1: split the task graph across the cluster nodes, minimizing
-	// the volume that must cross the fabric.
-	groups, groupMatrix, err := treematch.PartitionAcrossMatrix(m, nodes, p.Options)
+	// the volume that must cross the fabric; group g is sized for node g's
+	// capacity (or for the equal share when capacity-blind).
+	partCaps := caps
+	if p.CapacityBlind {
+		partCaps = make([]int, nodes)
+		for i := range partCaps {
+			partCaps[i] = 1
+		}
+	}
+	groups, groupMatrix, err := treematch.PartitionAcrossWeightedMatrix(m, partCaps, p.Options)
 	if err != nil {
 		return nil, err
 	}
 
-	// Level 2 (multi-switch fabrics only): treematch-map the aggregated
-	// group matrix onto the fabric tree, so groups with heavy residual
-	// traffic share a rack. On a single-switch fabric every group→node
+	// Level 2 (multi-switch fabrics only): match the aggregated group
+	// matrix onto the fabric tree, so groups with heavy residual traffic
+	// share a rack (and pod). On a single-switch fabric every group→node
 	// assignment prices identically, and the identity keeps A9 and older
-	// results bit-stable.
+	// results bit-stable. An uneven fabric (rack:2 node:2,3) admits no
+	// balanced abstract tree; the matching is skipped there and the
+	// partition keeps its positional (capacity-aligned) node order.
 	nodeOf := make([]int, len(groups))
 	for g := range nodeOf {
 		nodeOf[g] = g
 	}
-	if !p.NoFabricMatch && topo.NumRacks() > 1 {
-		fabricTree, err := treematch.FabricTree(topo)
-		if err != nil {
-			return nil, err
+	if !p.NoFabricMatch && (topo.NumRacks() > 1 || topo.NumPods() > 1) {
+		fabricTree, ferr := treematch.FabricTree(topo)
+		if ferr != nil && !errors.Is(ferr, treematch.ErrUneven) {
+			return nil, fmt.Errorf("placement: hierarchical fabric tree: %w", ferr)
 		}
-		// Clustering, not distribution: spreading groups across racks is
-		// exactly what the matching must avoid, so the tree is not
-		// restricted.
-		fabricOpts := p.Options
-		fabricOpts.Distribute = false
-		mp, err := treematch.MapMatrix(fabricTree, groupMatrix, fabricOpts)
-		if err != nil {
-			return nil, fmt.Errorf("placement: hierarchical fabric matching: %w", err)
+		if ferr == nil {
+			assignment, err := matchGroupsToNodes(fabricTree, groupMatrix, partCaps, caps, hetero && !p.CapacityBlind, p.Options)
+			if err != nil {
+				return nil, fmt.Errorf("placement: hierarchical fabric matching: %w", err)
+			}
+			copy(nodeOf, assignment)
 		}
-		copy(nodeOf, mp.Assignment)
 	}
 
 	a := &Assignment{
@@ -110,7 +143,22 @@ func (p Hierarchical) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment
 	}
 	opts := p.Options
 	opts.Distribute = !p.NoDistribute
-	ways := topo.SMTWays()
+	// Per-node SMT ways: the fused machine's global minimum would deny
+	// hyperthread control pairing on a node all of whose cores are
+	// 2-threaded just because some *other* member is not — each node's
+	// bindings should reflect its own hardware.
+	ways := make([]int, nodes)
+	for _, c := range topo.Cores() {
+		n := topo.ClusterNodeOf(c).LevelIndex
+		if w := len(c.Children); ways[n] == 0 || w < ways[n] {
+			ways[n] = w
+		}
+	}
+	for i := range ways {
+		if ways[i] < 1 {
+			ways[i] = 1
+		}
+	}
 	nonEmpty := 0
 	for g, group := range groups {
 		if len(group) == 0 {
@@ -123,20 +171,20 @@ func (p Hierarchical) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment
 		if err != nil {
 			return nil, err
 		}
-		res, err := treematch.Map(treematch.Target{Tree: nodeTree, SMTWays: ways}, sub, opts)
+		res, err := treematch.Map(treematch.Target{Tree: nodeTrees[node], SMTWays: ways[node]}, sub, opts)
 		if err != nil {
 			return nil, fmt.Errorf("placement: hierarchical node %d: %w", node, err)
 		}
 		for local, task := range group {
-			core := node*coresPerNode + res.Assignment[local]
+			core := coreBase[node] + res.Assignment[local]
 			a.TaskPU[task] = firstPU(topo, core)
 			switch {
 			case res.Control[local] < 0:
 				a.ControlPU[task] = -1
 			case res.Strategy == treematch.ControlHyperthread:
-				a.ControlPU[task] = secondPU(topo, node*coresPerNode+res.Control[local])
+				a.ControlPU[task] = secondPU(topo, coreBase[node]+res.Control[local])
 			default:
-				a.ControlPU[task] = firstPU(topo, node*coresPerNode+res.Control[local])
+				a.ControlPU[task] = firstPU(topo, coreBase[node]+res.Control[local])
 			}
 		}
 		// Nodes of different sizes may resolve the control threads
@@ -155,6 +203,44 @@ func (p Hierarchical) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment
 		a.Strategy = treematch.ControlUnmapped
 	}
 	return a, nil
+}
+
+// matchGroupsToNodes decides which cluster node each partition group runs
+// on, given the fabric tree and the aggregated group-to-group matrix. On
+// homogeneous platforms (classed == false) this is the unconstrained
+// treematch mapping; on heterogeneous ones the capacity-class-constrained
+// matching, where group g (sized for capacity groupCaps[g]) may only land
+// on a node of the same capacity.
+func matchGroupsToNodes(fabricTree *treematch.Tree, groupMatrix *comm.Matrix, groupCaps, nodeCaps []int, classed bool, opts treematch.Options) ([]int, error) {
+	if classed {
+		classOf := map[int]int{}
+		class := func(capacity int) int {
+			c, ok := classOf[capacity]
+			if !ok {
+				c = len(classOf)
+				classOf[capacity] = c
+			}
+			return c
+		}
+		entityClass := make([]int, len(groupCaps))
+		for g, c := range groupCaps {
+			entityClass[g] = class(c)
+		}
+		leafClass := make([]int, len(nodeCaps))
+		for n, c := range nodeCaps {
+			leafClass[n] = class(c)
+		}
+		return treematch.AssignClassed(fabricTree, groupMatrix, entityClass, leafClass)
+	}
+	// Clustering, not distribution: spreading groups across racks is exactly
+	// what the matching must avoid, so the tree is not restricted.
+	fabricOpts := opts
+	fabricOpts.Distribute = false
+	mp, err := treematch.MapMatrix(fabricTree, groupMatrix, fabricOpts)
+	if err != nil {
+		return nil, err
+	}
+	return mp.Assignment, nil
 }
 
 // RoundRobinNodes deals tasks across the cluster nodes round-robin:

@@ -17,8 +17,9 @@
 // treematch.FabricTree). The policies themselves never handle cycles. The
 // bridge to priced time is the contention derivation applied after a
 // placement is chosen: SetContention declares per-NUMA-node accessor
-// counts, and SetFabricContention the per-NIC and per-uplink crossing
-// stream counts; the simulator (internal/numasim) then charges CPU cycles —
+// counts, and SetFabricContention the per-link crossing stream counts at
+// every fabric level (NICs, rack uplinks, pod uplinks); the simulator
+// (internal/numasim) then charges CPU cycles —
 // network cycles for fabric paths — against those declarations. Whether the
 // structural optimum coincides with the priced optimum is not guaranteed;
 // internal/comm's package documentation spells out where the two diverge.
@@ -342,28 +343,33 @@ func SetContention(mach *numasim.Machine, a *Assignment, heavy []bool) {
 }
 
 // SetFabricContention derives the cluster-fabric contention from an
-// assignment and the program's affinity matrix, per link: every task that
-// exchanges volume with a task placed on another cluster node contributes
-// one stream on its node's NIC link, and — when some partner sits in another
-// rack — one stream on its rack's uplink. The counts are declared with
-// numasim.Machine.SetFabricLinkStreams, so a transfer is capped by the most
-// contended link on its path: partitions that balance the crossing streams
-// across NICs and racks sustain more bandwidth than ones that funnel them,
-// even at equal total cut. An unbound task on a multi-node machine roams and
-// is counted on every link. A no-op on single-machine topologies.
+// assignment and the program's affinity matrix, per link and per fabric
+// level: every task that exchanges volume with a task placed on another
+// cluster node contributes one stream on its node's NIC link, and — at
+// every outer fabric level (rack uplinks, pod uplinks) where some partner
+// sits in a different group — one stream on its own group's uplink at that
+// level. The counts are declared with numasim.Machine.SetLinkStreams, so a
+// transfer is capped by the most contended link on its path: partitions
+// that balance the crossing streams across NICs, racks and pods sustain
+// more bandwidth than ones that funnel them, even at equal total cut. An
+// unbound task on a multi-node machine roams and is counted on every link
+// of every level. A no-op on single-machine topologies.
 func SetFabricContention(mach *numasim.Machine, a *Assignment, m *comm.Matrix) {
-	topo := mach.Topology()
-	nodes := topo.NumClusterNodes()
-	if nodes <= 1 {
+	nodes := mach.Topology().NumClusterNodes()
+	levels := mach.NumFabricLevels()
+	if nodes <= 1 || levels == 0 {
 		return
 	}
-	nic := make([]int, nodes)
-	var uplink []int
-	if r := topo.NumRacks(); r > 0 {
-		uplink = make([]int, r)
+	counts := make([][]int, levels)
+	for l := range counts {
+		counts[l] = make([]int, mach.FabricLevelSize(l))
 	}
+	crossesAt := make([]bool, levels)
 	for i := 0; i < m.Order() && i < len(a.TaskPU); i++ {
-		crossesNode, crossesRack, partnerUnbound, hasTraffic := false, false, false, false
+		partnerUnbound, hasTraffic := false, false
+		for l := range crossesAt {
+			crossesAt[l] = false
+		}
 		for j := 0; j < m.Order() && j < len(a.TaskPU); j++ {
 			if i == j || m.At(i, j)+m.At(j, i) == 0 {
 				continue
@@ -375,11 +381,8 @@ func SetFabricContention(mach *numasim.Machine, a *Assignment, m *comm.Matrix) {
 				continue
 			}
 			ci, cj := mach.ClusterNodeOfPU(a.TaskPU[i]), mach.ClusterNodeOfPU(pj)
-			if ci != cj {
-				crossesNode = true
-				if !mach.SameRack(ci, cj) {
-					crossesRack = true
-				}
+			for l := 0; l < levels && mach.FabricGroupOf(l, ci) != mach.FabricGroupOf(l, cj); l++ {
+				crossesAt[l] = true
 			}
 		}
 		switch {
@@ -389,20 +392,23 @@ func SetFabricContention(mach *numasim.Machine, a *Assignment, m *comm.Matrix) {
 		case a.TaskPU[i] < 0:
 			// An unbound endpoint can stream over any link; count it on all
 			// of them, the conservative reading of the old global model.
-			for n := range nic {
-				nic[n]++
+			for l := range counts {
+				for g := range counts[l] {
+					counts[l][g]++
+				}
 			}
-			for r := range uplink {
-				uplink[r]++
-			}
-		case crossesNode || partnerUnbound:
+		case crossesAt[0] || partnerUnbound:
 			// A bound task whose partner is unbound may end up streaming
-			// anywhere, so its own NIC — and uplink — carry the stream.
-			nic[mach.ClusterNodeOfPU(a.TaskPU[i])]++
-			if len(uplink) > 0 && (crossesRack || partnerUnbound) {
-				uplink[mach.RackOfClusterNode(mach.ClusterNodeOfPU(a.TaskPU[i]))]++
+			// anywhere, so its own links at every level carry the stream.
+			ci := mach.ClusterNodeOfPU(a.TaskPU[i])
+			for l := range counts {
+				if crossesAt[l] || partnerUnbound {
+					counts[l][mach.FabricGroupOf(l, ci)]++
+				}
 			}
 		}
 	}
-	mach.SetFabricLinkStreams(nic, uplink)
+	for l, c := range counts {
+		mach.SetLinkStreams(l, c)
+	}
 }

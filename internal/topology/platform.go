@@ -1,0 +1,548 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A platform spec describes a whole (possibly heterogeneous) cluster in one
+// string: the fabric tiers from the outside in — an optional pod tier, an
+// optional rack tier, and the node (cluster) tier — followed by the member
+// machines. Two member forms exist:
+//
+//	pod:2 rack:2 node:2 pack:2 core:8        every node identical
+//	rack:2 node:2,3 pack:2 core:8            uneven racks, identical nodes
+//	rack:2 node:{pack:2 core:8 | pack:1 core:4}   one machine spec per node
+//	rack:2 node:2{pack:2 core:8 | pack:1 core:4}  counts + cycling members
+//
+// In the brace form the member machine specs are listed left to right, "|"
+// separated; without explicit counts the node count is the number of members
+// listed (distributed evenly across the racks), and with counts the member
+// list cycles over the nodes in left-to-right order. All members must share
+// the same level-kind sequence after normalization (they may differ freely
+// in arity — an 8-core and a 4-core node mix, a node with an l3 level and
+// one without does not), because the fused simulation topology keeps levels
+// kind-homogeneous. A spec without a node tier describes a single-node
+// platform.
+//
+// PlatformSpec is the parsed form; FusedSpec renders the whole platform back
+// into one (uneven) FromSpec string for the fused simulation machine, and
+// Members holds the per-node machine specs for the per-node shared-memory
+// views.
+type PlatformSpec struct {
+	// PodCounts lists the pods (one count; the pod tier hangs off the root).
+	// Empty when the fabric has no pod tier.
+	PodCounts []int
+	// RackCounts lists the racks per pod (or per machine root), one entry per
+	// pod when uneven. Empty when the fabric has no rack tier.
+	RackCounts []int
+	// NodeCounts lists the cluster nodes per rack (or per machine root), one
+	// entry per rack when uneven. Empty on a single-machine platform.
+	NodeCounts []int
+	// Members holds one normalized machine spec per cluster node, in
+	// left-to-right order.
+	Members []string
+}
+
+// Nodes returns the total number of cluster nodes of the platform.
+func (p *PlatformSpec) Nodes() int { return len(p.Members) }
+
+// Pods returns the total number of pods (0 without a pod tier).
+func (p *PlatformSpec) Pods() int {
+	n := 0
+	for _, c := range p.PodCounts {
+		n += c
+	}
+	return n
+}
+
+// Racks returns the total number of racks (0 without a rack tier). A single
+// rack count replicates per pod.
+func (p *PlatformSpec) Racks() int {
+	if len(p.RackCounts) == 0 {
+		return 0
+	}
+	if len(p.RackCounts) == 1 {
+		if pods := p.Pods(); pods > 0 {
+			return pods * p.RackCounts[0]
+		}
+		return p.RackCounts[0]
+	}
+	n := 0
+	for _, c := range p.RackCounts {
+		n += c
+	}
+	return n
+}
+
+// Homogeneous reports whether every member machine is identical.
+func (p *PlatformSpec) Homogeneous() bool {
+	for _, m := range p.Members[1:] {
+		if m != p.Members[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParsePlatform parses a platform specification string. See PlatformSpec for
+// the grammar. Plain single-machine specs parse as single-node platforms,
+// and plain cluster specs ("cluster:4 pack:2 core:8", "rack:2 node:4
+// core:16") parse with identical members. The member tail is read as one
+// shared per-node machine spec first; when its uneven counts do not fit a
+// single machine, it is re-read as a fused spec whose comma lists are
+// per-parent across the whole platform — so FusedSpec output (e.g.
+// "rack:2 cluster:1 pack:2,1 numa:1 core:8,8,4 pu:1") round-trips back
+// into its heterogeneous members.
+func ParsePlatform(spec string) (*PlatformSpec, error) {
+	tokens, err := tokenizePlatform(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("topology: empty platform spec")
+	}
+	p := &PlatformSpec{}
+	i := 0
+	// Fabric tiers, outside in: pod, rack, then the node (cluster) token.
+	fabricCounts := func(tok string) ([]int, error) {
+		counts, members, err := tokenCounts(tok)
+		if err != nil {
+			return nil, err
+		}
+		if len(members) > 0 {
+			// Silently dropping a braced list here would discard the user's
+			// member specs; only the node tier carries members.
+			return nil, fmt.Errorf("topology: member braces belong on the node tier, not on %q", tok)
+		}
+		return counts, nil
+	}
+	if kindOfToken(tokens[i]) == Pod {
+		if p.PodCounts, err = fabricCounts(tokens[i]); err != nil {
+			return nil, err
+		}
+		i++
+		if i == len(tokens) || kindOfToken(tokens[i]) != Rack {
+			return nil, fmt.Errorf("topology: a pod tier requires a rack tier below it, as in %q", "pod:2 rack:2 node:2 pack:2 core:8")
+		}
+	}
+	if i < len(tokens) && kindOfToken(tokens[i]) == Rack {
+		if p.RackCounts, err = fabricCounts(tokens[i]); err != nil {
+			return nil, err
+		}
+		i++
+		if i == len(tokens) || !isNodeToken(tokens, i) {
+			return nil, fmt.Errorf("topology: a rack tier requires a node (cluster) tier below it, as in %q", "rack:2 node:4 pack:2 core:8")
+		}
+	}
+	var members []string
+	nodeTier := false
+	if i < len(tokens) && isNodeToken(tokens, i) {
+		nodeTier = true
+		counts, braced, err := tokenCounts(tokens[i])
+		if err != nil {
+			return nil, err
+		}
+		i++
+		rest := strings.Join(tokens[i:], " ")
+		switch {
+		case len(braced) > 0 && rest != "":
+			return nil, fmt.Errorf("topology: tokens %q after a braced node tier (the member specs are the braces' content)", rest)
+		case len(braced) > 0:
+			p.NodeCounts = counts
+			members = braced
+		case rest == "":
+			return nil, fmt.Errorf("topology: node tier without a member machine spec")
+		default:
+			p.NodeCounts = counts
+			members = []string{rest}
+		}
+	} else {
+		// No fabric tiers at all: the whole spec is one member machine.
+		members = []string{strings.Join(tokens[i:], " ")}
+	}
+
+	if len(p.RackCounts) > 1 && len(p.RackCounts) != p.Pods() {
+		return nil, fmt.Errorf("topology: rack tier lists %d counts for %d pods", len(p.RackCounts), p.Pods())
+	}
+	if err := p.resolveCounts(members, nodeTier); err != nil {
+		return nil, err
+	}
+	if err := p.normalizeMembers(); err != nil {
+		// A single shared member whose uneven counts do not fit one machine
+		// may be a *fused* spec (FusedSpec output, or FromSpec's global
+		// reading), whose comma lists are per-parent across the whole
+		// platform: split them back into per-node members so fused specs
+		// round-trip. The shared-member reading stays primary.
+		if len(members) == 1 && strings.Contains(members[0], ",") && p.Nodes() > 1 {
+			if split, serr := splitFusedTail(p.Nodes(), members[0]); serr == nil {
+				p.Members = split
+				return p, p.normalizeMembers()
+			}
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+// resolveCounts reconciles the node-tier counts with the member list and
+// expands Members to one spec per node (cycling a braced list over explicit
+// counts). nodeTier reports whether the spec had an explicit node token —
+// a spec without one is a plain machine with no cluster tier, while
+// "node:{...}" with a single member is a 1-node cluster.
+func (p *PlatformSpec) resolveCounts(members []string, nodeTier bool) error {
+	racks := p.Racks()
+	if !nodeTier && len(p.RackCounts)+len(p.PodCounts) == 0 {
+		// Single machine, no fabric: one node, no cluster tier.
+		p.Members = members
+		return nil
+	}
+	total := 0
+	for _, c := range p.NodeCounts {
+		total += c
+	}
+	if len(p.NodeCounts) == 0 {
+		// Braced list without counts: the member count is the node count,
+		// distributed evenly across the racks when a rack tier exists.
+		total = len(members)
+		if racks > 0 {
+			if total%racks != 0 {
+				return fmt.Errorf("topology: %d node members do not distribute across %d racks; give explicit counts as in %q",
+					total, racks, "node:1,2{...}")
+			}
+			p.NodeCounts = []int{total / racks}
+		} else {
+			p.NodeCounts = []int{total}
+		}
+	}
+	if len(p.RackCounts) > 0 {
+		if len(p.NodeCounts) != 1 && len(p.NodeCounts) != racks {
+			return fmt.Errorf("topology: node tier lists %d counts for %d racks", len(p.NodeCounts), racks)
+		}
+	} else if len(p.NodeCounts) != 1 {
+		return fmt.Errorf("topology: node tier lists %d counts without a rack tier above", len(p.NodeCounts))
+	}
+	if len(p.NodeCounts) == 1 && racks > 0 {
+		total = p.NodeCounts[0] * racks
+	}
+	// A braced list shorter than the node count cycles; longer is an error
+	// (members would be silently dropped).
+	if len(members) > total {
+		return fmt.Errorf("topology: %d node members for %d nodes", len(members), total)
+	}
+	p.Members = make([]string, total)
+	for i := range p.Members {
+		p.Members[i] = members[i%len(members)]
+	}
+	return nil
+}
+
+// normalizeMembers runs every member spec through the ordinary parser,
+// stores the normalized form, rejects members that themselves contain fabric
+// tiers, and checks that all members share one level-kind sequence.
+func (p *PlatformSpec) normalizeMembers() error {
+	var kinds0 []Kind
+	for i, m := range p.Members {
+		t, err := FromSpec(m)
+		if err != nil {
+			return fmt.Errorf("topology: platform member %d: %w", i, err)
+		}
+		if len(t.ClusterNodes()) > 0 || t.NumRacks() > 0 || t.NumPods() > 0 {
+			return fmt.Errorf("topology: platform member %d %q contains a fabric tier of its own", i, m)
+		}
+		p.Members[i] = t.Spec()
+		kinds := memberKinds(t)
+		if i == 0 {
+			kinds0 = kinds
+		} else if !kindsEqual(kinds, kinds0) {
+			return fmt.Errorf("topology: platform members must share one level-kind sequence: member %d has %v, member 0 has %v",
+				i, kinds, kinds0)
+		}
+	}
+	return nil
+}
+
+// memberKinds lists a member topology's level kinds below the machine root.
+func memberKinds(t *Topology) []Kind {
+	kinds := make([]Kind, 0, t.Depth()-1)
+	for d := 1; d < t.Depth(); d++ {
+		kinds = append(kinds, t.LevelKind(d))
+	}
+	return kinds
+}
+
+func kindsEqual(a, b []Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FusedSpec renders the platform as a single (possibly uneven) FromSpec
+// string for the fused simulation topology: the fabric tiers, then — level
+// by level — the per-parent counts of every member machine concatenated in
+// left-to-right order. Homogeneous levels collapse back to a single count,
+// so a homogeneous platform round-trips to the familiar
+// "cluster:N pack:P ..." form.
+func (p *PlatformSpec) FusedSpec() (string, error) {
+	var parts []string
+	emit := func(kind string, counts []int) {
+		uniform := true
+		for _, c := range counts[1:] {
+			if c != counts[0] {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			parts = append(parts, fmt.Sprintf("%s:%d", kind, counts[0]))
+			return
+		}
+		cs := make([]string, len(counts))
+		for i, c := range counts {
+			cs[i] = strconv.Itoa(c)
+		}
+		parts = append(parts, kind+":"+strings.Join(cs, ","))
+	}
+	if len(p.PodCounts) > 0 {
+		emit("pod", p.PodCounts)
+	}
+	if len(p.RackCounts) > 0 {
+		emit("rack", p.RackCounts)
+	}
+	if len(p.NodeCounts) > 0 || len(p.Members) > 1 || p.Racks() > 0 {
+		emit("cluster", p.NodeCounts)
+	} else {
+		// Single machine: the member spec is the whole topology.
+		return p.Members[0], nil
+	}
+
+	// Expand every member into explicit per-parent count lists, level by
+	// level, and concatenate them across members (the global parent order at
+	// each level is member 0's parents, then member 1's, and so on).
+	type level struct {
+		name   string
+		counts []int
+	}
+	var levels []level
+	for mi, m := range p.Members {
+		fields := strings.Fields(m)
+		parents := 1
+		for li, f := range fields {
+			name, counts, err := splitToken(f)
+			if err != nil {
+				return "", err
+			}
+			expanded := counts
+			if len(counts) == 1 && parents > 1 {
+				expanded = make([]int, parents)
+				for i := range expanded {
+					expanded[i] = counts[0]
+				}
+			} else if len(counts) != parents && len(counts) != 1 {
+				return "", fmt.Errorf("topology: member %d level %q lists %d counts for %d parents", mi, f, len(counts), parents)
+			}
+			if mi == 0 {
+				levels = append(levels, level{name: name})
+			} else if li >= len(levels) || levels[li].name != name {
+				return "", fmt.Errorf("topology: member %d level %q does not align with member 0", mi, f)
+			}
+			levels[li].counts = append(levels[li].counts, expanded...)
+			next := 0
+			for _, c := range expanded {
+				next += c
+			}
+			parents = next
+		}
+	}
+	for _, lv := range levels {
+		emit(lv.name, lv.counts)
+	}
+	return strings.Join(parts, " "), nil
+}
+
+// splitFusedTail interprets the member tail of a fused spec: every comma
+// list holds one count per parent object across the *whole* platform, in
+// left-to-right node order (the inverse of FusedSpec's expansion). It
+// slices each level's counts back into per-node member specs, collapsing
+// uniform runs.
+func splitFusedTail(nodes int, tail string) ([]string, error) {
+	parents := make([]int, nodes)
+	tokens := make([][]string, nodes)
+	for i := range parents {
+		parents[i] = 1
+	}
+	for _, f := range strings.Fields(tail) {
+		name, counts, err := splitToken(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(counts) > 1 {
+			total := 0
+			for _, pn := range parents {
+				total += pn
+			}
+			if len(counts) != total {
+				return nil, fmt.Errorf("topology: fused level %q lists %d counts for %d parents", f, len(counts), total)
+			}
+		}
+		pos := 0
+		for i := range parents {
+			mine := counts
+			if len(counts) > 1 {
+				mine = counts[pos : pos+parents[i]]
+				pos += parents[i]
+			}
+			uniform := true
+			next := 0
+			for _, c := range mine {
+				next += c
+				if c != mine[0] {
+					uniform = false
+				}
+			}
+			if len(mine) == 1 {
+				next = mine[0] * parents[i]
+			}
+			tok := name + ":"
+			if uniform {
+				tok += strconv.Itoa(mine[0])
+			} else {
+				cs := make([]string, len(mine))
+				for j, c := range mine {
+					cs[j] = strconv.Itoa(c)
+				}
+				tok += strings.Join(cs, ",")
+			}
+			tokens[i] = append(tokens[i], tok)
+			parents[i] = next
+		}
+	}
+	members := make([]string, nodes)
+	for i, ts := range tokens {
+		members[i] = strings.Join(ts, " ")
+	}
+	return members, nil
+}
+
+// tokenizePlatform splits a platform spec on whitespace, keeping brace
+// blocks (which may contain spaces) attached to their token.
+func tokenizePlatform(spec string) ([]string, error) {
+	var tokens []string
+	var cur strings.Builder
+	depth := 0
+	for _, r := range spec {
+		switch {
+		case r == '{':
+			depth++
+			cur.WriteRune(r)
+		case r == '}':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("topology: unbalanced %q in platform spec", "}")
+			}
+			cur.WriteRune(r)
+		case depth == 0 && (r == ' ' || r == '\t' || r == '\n'):
+			if cur.Len() > 0 {
+				tokens = append(tokens, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("topology: unbalanced %q in platform spec", "{")
+	}
+	if cur.Len() > 0 {
+		tokens = append(tokens, cur.String())
+	}
+	return tokens, nil
+}
+
+// kindOfToken returns the kind a token names, or -1 when it is not a plain
+// kind:count token.
+func kindOfToken(tok string) Kind {
+	name, _, ok := strings.Cut(tok, ":")
+	if !ok {
+		return -1
+	}
+	k, ok := kindTokens[strings.ToLower(name)]
+	if !ok {
+		return -1
+	}
+	return k
+}
+
+// isNodeToken reports whether tokens[i] opens the cluster-node tier:
+// "cluster:..." always; "node:..." when it carries a brace block, follows a
+// rack tier (i > 0), or is followed by a machine level above the NUMA tier
+// (the same promotion FromSpec applies).
+func isNodeToken(tokens []string, i int) bool {
+	name, val, ok := strings.Cut(tokens[i], ":")
+	if !ok {
+		return false
+	}
+	switch strings.ToLower(name) {
+	case "cluster":
+		return true
+	case "node":
+		if strings.Contains(val, "{") || i > 0 {
+			return true
+		}
+		return i+1 < len(tokens) && LeadingNodeIsCluster(kindOfToken(tokens[i+1]))
+	}
+	return false
+}
+
+// tokenCounts parses one fabric-tier token into its count list and, for the
+// node tier, the braced member list.
+func tokenCounts(tok string) (counts []int, members []string, err error) {
+	_, val, _ := strings.Cut(tok, ":")
+	if open := strings.IndexByte(val, '{'); open >= 0 {
+		if !strings.HasSuffix(val, "}") {
+			return nil, nil, fmt.Errorf("topology: malformed brace block in token %q", tok)
+		}
+		for _, m := range strings.Split(val[open+1:len(val)-1], "|") {
+			m = strings.TrimSpace(m)
+			if m == "" {
+				return nil, nil, fmt.Errorf("topology: empty member spec in token %q", tok)
+			}
+			members = append(members, m)
+		}
+		val = val[:open]
+		if val == "" {
+			return nil, members, nil
+		}
+	}
+	for _, cs := range strings.Split(val, ",") {
+		n, err := strconv.Atoi(cs)
+		if err != nil || n <= 0 {
+			return nil, nil, fmt.Errorf("topology: invalid count in token %q", tok)
+		}
+		counts = append(counts, n)
+	}
+	return counts, members, nil
+}
+
+// splitToken parses a "kind:counts" token of a normalized member spec.
+func splitToken(tok string) (name string, counts []int, err error) {
+	name, val, ok := strings.Cut(tok, ":")
+	if !ok {
+		return "", nil, fmt.Errorf("topology: token %q is not of the form kind:count", tok)
+	}
+	for _, cs := range strings.Split(val, ",") {
+		n, err := strconv.Atoi(cs)
+		if err != nil || n <= 0 {
+			return "", nil, fmt.Errorf("topology: invalid count in token %q", tok)
+		}
+		counts = append(counts, n)
+	}
+	return name, counts, nil
+}

@@ -1,0 +1,185 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePlatformHomogeneous(t *testing.T) {
+	for _, tc := range []struct {
+		spec  string
+		nodes int
+		fused string // substring the fused spec must contain
+	}{
+		{"pack:2 core:8", 1, "pack:2"},
+		{"cluster:4 pack:2 core:8", 4, "cluster:4 pack:2"},
+		{"node:4 pack:2 core:8", 4, "cluster:4 pack:2"},
+		{"rack:2 node:2 pack:1 core:4", 4, "rack:2 cluster:2"},
+		{"pod:2 rack:2 node:2 pack:1 core:4", 8, "pod:2 rack:2 cluster:2"},
+	} {
+		p, err := ParsePlatform(tc.spec)
+		if err != nil {
+			t.Errorf("ParsePlatform(%q): %v", tc.spec, err)
+			continue
+		}
+		if p.Nodes() != tc.nodes {
+			t.Errorf("%q: %d nodes, want %d", tc.spec, p.Nodes(), tc.nodes)
+		}
+		if !p.Homogeneous() {
+			t.Errorf("%q: not homogeneous", tc.spec)
+		}
+		fused, err := p.FusedSpec()
+		if err != nil {
+			t.Errorf("%q: FusedSpec: %v", tc.spec, err)
+			continue
+		}
+		if !strings.Contains(fused, tc.fused) {
+			t.Errorf("%q: fused spec %q does not contain %q", tc.spec, fused, tc.fused)
+		}
+		if _, err := FromSpec(fused); err != nil {
+			t.Errorf("%q: fused spec %q does not build: %v", tc.spec, fused, err)
+		}
+	}
+}
+
+func TestParsePlatformHeterogeneous(t *testing.T) {
+	p, err := ParsePlatform("rack:2 node:{pack:2 core:8 | pack:1 core:4}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes() != 2 || p.Homogeneous() {
+		t.Fatalf("nodes=%d homogeneous=%v, want 2 heterogeneous members", p.Nodes(), p.Homogeneous())
+	}
+	fused, err := p.FusedSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := FromSpec(fused)
+	if err != nil {
+		t.Fatalf("fused spec %q: %v", fused, err)
+	}
+	if topo.NumCores() != 20 {
+		t.Errorf("fused topology has %d cores, want 20 (2x8 + 1x4): spec %q", topo.NumCores(), fused)
+	}
+	if topo.NumRacks() != 2 || len(topo.ClusterNodes()) != 2 {
+		t.Errorf("fused topology has %d racks / %d nodes, want 2 / 2", topo.NumRacks(), len(topo.ClusterNodes()))
+	}
+}
+
+func TestParsePlatformCyclingMembers(t *testing.T) {
+	p, err := ParsePlatform("pod:2 rack:2 node:2{pack:2 core:4 | pack:1 core:4}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes() != 8 {
+		t.Fatalf("%d nodes, want 8", p.Nodes())
+	}
+	big, small := 0, 0
+	for _, m := range p.Members {
+		if strings.Contains(m, "pack:2") {
+			big++
+		} else {
+			small++
+		}
+	}
+	if big != 4 || small != 4 {
+		t.Errorf("member cycle gave %d big / %d small, want 4 / 4", big, small)
+	}
+	fused, err := p.FusedSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := FromSpec(fused)
+	if err != nil {
+		t.Fatalf("fused spec %q: %v", fused, err)
+	}
+	if topo.NumPods() != 2 || topo.NumRacks() != 4 || topo.NumCores() != 48 {
+		t.Errorf("pods=%d racks=%d cores=%d, want 2/4/48 (spec %q)",
+			topo.NumPods(), topo.NumRacks(), topo.NumCores(), fused)
+	}
+}
+
+func TestParsePlatformUnevenRacks(t *testing.T) {
+	p, err := ParsePlatform("rack:2 node:2,3 pack:1 core:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes() != 5 {
+		t.Fatalf("%d nodes, want 5", p.Nodes())
+	}
+	fused, err := p.FusedSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := FromSpec(fused)
+	if err != nil {
+		t.Fatalf("fused spec %q: %v", fused, err)
+	}
+	if got := len(topo.ClusterNodes()); got != 5 {
+		t.Errorf("fused topology has %d cluster nodes, want 5", got)
+	}
+	racks := topo.Racks()
+	if len(racks) != 2 || len(racks[0].Children) != 2 || len(racks[1].Children) != 3 {
+		t.Errorf("uneven racks not preserved: %v", topo.Spec())
+	}
+}
+
+func TestParsePlatformErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"pod:2 node:4 core:8", // pod without rack tier
+		"rack:2 core:8",       // rack without node tier
+		"cluster:4",           // node tier without member spec
+		"rack:2 node:{pack:1 core:2} pack:1 core:2",                    // tokens after braces
+		"rack:2 node:{pack:1 core:2 | }",                               // empty member
+		"rack:2 node:{pack:1 core:2 | pack:1",                          // unbalanced brace
+		"rack:2 node:{a:1 | b:2 | c:3}",                                // bogus members
+		"rack:3 node:{pack:1 core:2 | pack:1 core:4}",                  // 2 members on 3 racks
+		"rack:2 node:1{pack:1 core:2 | pack:1 core:4 | pack:1 core:8}", // 3 members, 2 nodes
+		"node:{cluster:2 core:4}",                                      // member with its own fabric tier
+		"rack:2{pack:1 core:2 | pack:1 core:4} node:2 pack:1 core:2",   // braces on the rack tier
+		"pod:2{pack:1 core:2} rack:2 node:2 pack:1 core:2",             // braces on the pod tier
+	} {
+		if _, err := ParsePlatform(spec); err == nil {
+			t.Errorf("ParsePlatform(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParsePlatformMixedKindSequenceRejected(t *testing.T) {
+	// One member has an L3 level, the other does not: the fused topology
+	// could not keep levels kind-homogeneous.
+	if _, err := ParsePlatform("node:{pack:1 l3:1 core:4 | pack:1 core:4}"); err == nil {
+		t.Error("members with different level-kind sequences accepted")
+	}
+}
+
+func TestPodSpec(t *testing.T) {
+	topo, err := FromSpec("pod:2 rack:2 node:2 pack:1 core:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumPods() != 2 || topo.NumRacks() != 4 || len(topo.ClusterNodes()) != 8 {
+		t.Fatalf("pods=%d racks=%d nodes=%d, want 2/4/8", topo.NumPods(), topo.NumRacks(), len(topo.ClusterNodes()))
+	}
+	levels := topo.FabricLevels()
+	if len(levels) != 3 {
+		t.Fatalf("%d fabric levels, want 3 (NIC, rack uplink, pod uplink)", len(levels))
+	}
+	if levels[0][0].Kind != Cluster || levels[1][0].Kind != Rack || levels[2][0].Kind != Pod {
+		t.Errorf("fabric level kinds %v/%v/%v, want Cluster/Rack/Pod",
+			levels[0][0].Kind, levels[1][0].Kind, levels[2][0].Kind)
+	}
+	// A pod tier requires a rack tier.
+	if _, err := FromSpec("pod:2 node:2 pack:1 core:2"); err == nil {
+		t.Error("pod tier without rack tier accepted")
+	}
+	// SamePod / PodOf agree with the tree.
+	n0, n7 := topo.ClusterNodes()[0], topo.ClusterNodes()[7]
+	if topo.SamePod(n0, n7) {
+		t.Error("nodes 0 and 7 report the same pod on a 2-pod fabric")
+	}
+	if topo.PodOf(n0) == nil || topo.PodOf(n0).LevelIndex != 0 {
+		t.Error("PodOf(node 0) is not Pod#0")
+	}
+}

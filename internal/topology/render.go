@@ -69,6 +69,9 @@ func describe(o *Object) string {
 	case o.Kind.IsCache():
 		return fmt.Sprintf("%s#%d (%s, %.0f cycles)", o.Kind, o.LevelIndex,
 			formatSize(o.Attr.CacheSize), o.Attr.LatencyCycles)
+	case o.Kind == Pod:
+		return fmt.Sprintf("Pod#%d (uplink %.1f GB/s, %.0f cycles)", o.LevelIndex,
+			o.Attr.BandwidthBytesPerSec/1e9, o.Attr.LatencyCycles)
 	case o.Kind == Rack:
 		return fmt.Sprintf("Rack#%d (uplink %.1f GB/s, %.0f cycles)", o.LevelIndex,
 			o.Attr.BandwidthBytesPerSec/1e9, o.Attr.LatencyCycles)

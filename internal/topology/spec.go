@@ -37,6 +37,13 @@ type Defaults struct {
 	// is shared by every stream leaving the rack, so it is the scarce resource
 	// of a multi-switch fabric.
 	UplinkBandwidth float64
+	// PodUplinkLatencyCycles is the per-link latency of one pod uplink (pod
+	// switch to core switch) in cycles; a message between nodes in different
+	// pods traverses two NIC links, two rack uplinks and two pod uplinks.
+	PodUplinkLatencyCycles float64
+	// PodUplinkBandwidth is the per-pod-uplink bandwidth in bytes/second,
+	// shared by every stream leaving the pod.
+	PodUplinkBandwidth float64
 }
 
 // DefaultAttrs returns physical constants plausible for the 2016-era large
@@ -69,6 +76,12 @@ func DefaultAttrs() Defaults {
 		// one switch.
 		UplinkLatencyCycles: 8000,
 		UplinkBandwidth:     2.5e9,
+		// Pod uplinks (pod switch to core switch): another store-and-forward
+		// tier, trunked no wider than the rack uplinks but shared by every
+		// stream leaving a whole pod — the classic oversubscribed fat-tree
+		// top, where crossing a pod boundary is the costliest path of all.
+		PodUplinkLatencyCycles: 16000,
+		PodUplinkBandwidth:     2.5e9,
 	}
 }
 
@@ -98,6 +111,7 @@ func (l specLevel) total(nParents int) (int, error) {
 
 var kindTokens = map[string]Kind{
 	"machine": Machine,
+	"pod":     Pod,
 	"rack":    Rack,
 	"cluster": Cluster,
 	"group":   Group,
@@ -205,7 +219,7 @@ func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 	// token follows ("node:4 pack:2 core:8" describes a 4-machine cluster),
 	// and any "node" directly after a rack level (under a rack, the node tier
 	// can only mean cluster nodes).
-	if names[0] == "node" && len(levels) > 1 && levels[1].kind < NUMANode {
+	if names[0] == "node" && len(levels) > 1 && LeadingNodeIsCluster(levels[1].kind) {
 		levels[0].kind = Cluster
 	}
 	for i := 1; i < len(levels); i++ {
@@ -221,10 +235,13 @@ func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 		seen[l.kind] = true
 	}
 	if !sort.SliceIsSorted(levels, func(i, j int) bool { return levels[i].kind < levels[j].kind }) {
-		return nil, fmt.Errorf("topology: kinds must appear in root-to-leaf order (machine, rack, cluster, group, pack, numa, l3, l2, l1, core, pu)")
+		return nil, fmt.Errorf("topology: kinds must appear in root-to-leaf order (machine, pod, rack, cluster, group, pack, numa, l3, l2, l1, core, pu)")
 	}
 	if seen[Rack] && !seen[Cluster] {
 		return nil, fmt.Errorf("topology: a rack tier requires a node (cluster) tier below it, as in %q", "rack:2 node:4 pack:2 core:8")
+	}
+	if seen[Pod] && !seen[Rack] {
+		return nil, fmt.Errorf("topology: a pod tier requires a rack tier below it, as in %q", "pod:2 rack:2 node:2 pack:2 core:8")
 	}
 	levels = normalize(levels)
 
@@ -238,6 +255,14 @@ func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 	}
 	return t, nil
 }
+
+// LeadingNodeIsCluster reports whether a leading "node" token denotes the
+// cluster tier rather than a NUMA level: exactly when the level that
+// follows sits above the NUMA tier (a NUMA level above groups or packages
+// would be ill-ordered, so the reinterpretation is unambiguous). The single
+// source of the promotion rule, shared by FromSpecAttrs and the platform
+// grammar (ParsePlatform).
+func LeadingNodeIsCluster(next Kind) bool { return next >= 0 && next < NUMANode }
 
 // normalize inserts the implicit numa, core and pu levels documented in
 // FromSpecAttrs.
@@ -278,7 +303,7 @@ func normalize(levels []specLevel) []specLevel {
 // canonicalSpec renders the normalized levels back into a spec string.
 func canonicalSpec(levels []specLevel) string {
 	names := map[Kind]string{
-		Rack: "rack", Cluster: "cluster", Group: "group", Package: "pack",
+		Pod: "pod", Rack: "rack", Cluster: "cluster", Group: "group", Package: "pack",
 		NUMANode: "numa", L3: "l3", L2: "l2", L1: "l1", Core: "core", PU: "pu",
 	}
 	parts := make([]string, len(levels))
@@ -343,6 +368,11 @@ func attrFor(k Kind, def Defaults) Attr {
 		return Attr{
 			LatencyCycles:        def.UplinkLatencyCycles,
 			BandwidthBytesPerSec: def.UplinkBandwidth,
+		}
+	case Pod:
+		return Attr{
+			LatencyCycles:        def.PodUplinkLatencyCycles,
+			BandwidthBytesPerSec: def.PodUplinkBandwidth,
 		}
 	default:
 		return Attr{}

@@ -33,12 +33,18 @@ type Kind int
 const (
 	// Machine is the root of every topology.
 	Machine Kind = iota
+	// Pod is one pod (core-switch group) of a three-tier fabric: the racks
+	// below a Pod share a pod switch, and traffic between different Pods
+	// additionally traverses the pod uplinks (pod switch to core switch).
+	// Each Pod object carries the per-pod-uplink latency and bandwidth in its
+	// Attr; the root of a topology with Pods stands for the core switch.
+	Pod
 	// Rack is one rack (switch group) of a multi-switch cluster fabric: the
 	// cluster nodes below a Rack share a top-of-rack switch, and traffic
 	// between different Racks additionally traverses the rack uplinks to the
 	// spine. Each Rack object carries the per-uplink latency and bandwidth in
 	// its Attr; the root of a topology with Racks stands for the spine
-	// switch.
+	// switch (or, with a pod tier above, for the core switch).
 	Rack
 	// Cluster is a cluster node: one shared-memory machine of a simulated
 	// multi-machine cluster. PUs under different Cluster objects do not share
@@ -67,6 +73,7 @@ const (
 
 var kindNames = [numKinds]string{
 	Machine:  "Machine",
+	Pod:      "Pod",
 	Rack:     "Rack",
 	Cluster:  "Cluster",
 	Group:    "Group",
@@ -158,6 +165,7 @@ type Topology struct {
 	numa     []*Object
 	clusters []*Object
 	racks    []*Object
+	pods     []*Object
 	spec     string // the normalized spec the topology was built from
 }
 
@@ -293,6 +301,48 @@ func (t *Topology) SameRack(a, b *Object) bool {
 	return ra != nil && ra == rb
 }
 
+// Pods returns the pod (core-switch-group) objects in left-to-right order,
+// or an empty slice when the fabric has at most two switch tiers.
+func (t *Topology) Pods() []*Object { return t.pods }
+
+// NumPods returns the number of pods; a topology without a pod level reports
+// 0 (a two-tier or flatter fabric).
+func (t *Topology) NumPods() int { return len(t.pods) }
+
+// PodOf returns the pod the object belongs to, or nil on a fabric without a
+// pod tier.
+func (t *Topology) PodOf(o *Object) *Object { return o.Ancestor(Pod) }
+
+// SamePod reports whether two objects hang under the same pod switch: always
+// true on a topology without a pod level, and true otherwise exactly when
+// they share a Pod ancestor.
+func (t *Topology) SamePod(a, b *Object) bool {
+	if len(t.pods) == 0 {
+		return true
+	}
+	pa, pb := t.PodOf(a), t.PodOf(b)
+	return pa != nil && pa == pb
+}
+
+// FabricLevels returns the per-level link objects of the cluster fabric,
+// innermost tier first: the cluster nodes (whose Attr carries the NIC link),
+// then the racks (ToR uplinks), then the pods (pod uplinks) — generically,
+// every topology level from the cluster tier up to just below the machine
+// root. A message between two cluster nodes traverses, at each level where
+// their ancestors differ, both endpoint links of that level. Nil on a
+// single-machine topology.
+func (t *Topology) FabricLevels() [][]*Object {
+	d := t.DepthOf(Cluster)
+	if d < 0 {
+		return nil
+	}
+	var out [][]*Object
+	for ; d >= 1; d-- {
+		out = append(out, t.levels[d])
+	}
+	return out
+}
+
 // SMT reports whether the topology has hyperthreading, i.e. cores with more
 // than one PU.
 func (t *Topology) SMT() bool {
@@ -418,6 +468,9 @@ func (t *Topology) Validate() error {
 	if len(t.racks) > 0 && len(t.clusters) == 0 {
 		return fmt.Errorf("topology: rack level without a cluster-node level below it")
 	}
+	if len(t.pods) > 0 && len(t.racks) == 0 {
+		return fmt.Errorf("topology: pod level without a rack level below it")
+	}
 	if len(t.pus) != len(last) {
 		return fmt.Errorf("topology: PU index lists %d PUs, leaf level has %d", len(t.pus), len(last))
 	}
@@ -464,6 +517,8 @@ func build(root *Object, spec string) *Topology {
 			t.clusters = lv
 		case Rack:
 			t.racks = lv
+		case Pod:
+			t.pods = lv
 		}
 	}
 	return t

@@ -19,10 +19,14 @@ import (
 // No single grouping heuristic wins on every task graph: greedy k-way
 // seeding snakes through lattices, recursive bisection commits to a split
 // axis it cannot revisit, and pairwise-swap refinement only polishes local
-// optima. The partitioner therefore computes three deterministic candidates
-// — direct k-way grouping, recursive bisection, and multilevel coarsening
-// (pair, aggregate, partition the coarse graph, expand) — KL-refines each at
-// the fine level, and keeps the one with the smallest cut, measured exactly.
+// optima. The partitioner therefore computes a portfolio of deterministic
+// candidates — direct k-way grouping, recursive bisection, multilevel
+// coarsening (pair, aggregate, partition the coarse graph, expand),
+// split-finer-then-merge, and spectral bisection on the Fiedler vector (the
+// geometry-free candidate that finds the quadrant partitions of square
+// lattices, where the others stop at slab or center-block local optima) —
+// KL-refines each at the fine level, and keeps the one with the smallest
+// cut, measured exactly.
 func PartitionAcross(m *comm.Matrix, k int, opt Options) ([][]int, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("treematch: PartitionAcross needs at least 1 group, got %d", k)
@@ -101,6 +105,19 @@ func PartitionAcross(m *comm.Matrix, k int, opt Options) ([][]int, error) {
 			return nil, err
 		}
 	}
+	// Spectral bisection, considered last so that ties keep the portfolio's
+	// established winners. Only without padding: zero-volume padding entities
+	// are isolated vertices whose Laplacian component dominates the power
+	// iteration and drowns the Fiedler direction.
+	if k%2 == 0 && per*k == p && per > 1 {
+		ids := make([]int, p)
+		for i := range ids {
+			ids[i] = i
+		}
+		if err := consider(spectralPartition(work, ids, k, passes)); err != nil {
+			return nil, err
+		}
+	}
 
 	out := make([][]int, k)
 	for gi, g := range best {
@@ -111,6 +128,181 @@ func PartitionAcross(m *comm.Matrix, k int, opt Options) ([][]int, error) {
 		}
 	}
 	return out, nil
+}
+
+// PartitionAcrossWeighted partitions the entities of the matrix into
+// len(caps) groups whose sizes are proportional to the given capacities
+// (group g targets p·caps[g]/Σcaps entities, remainders distributed by
+// largest fractional part), minimizing the communication volume cut between
+// groups. This is the capacity-aware top stage of hierarchical placement on
+// heterogeneous platforms: caps[g] is the core count of the cluster node
+// group g is destined for, so an 8-core node receives twice the tasks of a
+// 4-core node instead of the equal share that would oversubscribe the small
+// node. With equal capacities it is exactly PartitionAcross, candidate
+// portfolio included. Group order is deterministic and positional: group g
+// always carries the size derived from caps[g].
+func PartitionAcrossWeighted(m *comm.Matrix, caps []int, opt Options) ([][]int, error) {
+	k := len(caps)
+	if k < 1 {
+		return nil, fmt.Errorf("treematch: PartitionAcrossWeighted needs at least 1 capacity, got %d", k)
+	}
+	equal := true
+	for _, c := range caps {
+		if c < 1 {
+			return nil, fmt.Errorf("treematch: capacity %d must be positive", c)
+		}
+		if c != caps[0] {
+			equal = false
+		}
+	}
+	if equal {
+		return PartitionAcross(m, k, opt)
+	}
+	p := m.Order()
+	if p == 0 {
+		return make([][]int, k), nil
+	}
+	sizes := weightedSizes(p, caps)
+	passes := opt.refinePasses(0)
+
+	var best [][]int
+	bestIntra := -1.0
+	bestStreams, bestPeak := 0, 0
+	consider := func(groups [][]int, err error) error {
+		if err != nil {
+			return err
+		}
+		if passes > 0 && k > 1 {
+			refineGroups(m, groups, passes)
+		}
+		v := intraVolume(m, groups)
+		s, peak := crossingStats(m, groups)
+		if v > bestIntra ||
+			(v == bestIntra && (peak < bestPeak || (peak == bestPeak && s < bestStreams))) {
+			bestIntra, bestStreams, bestPeak = v, s, peak
+			best = groups
+		}
+		return nil
+	}
+	if err := consider(greedySizedGroups(m, sizes), nil); err != nil {
+		return nil, err
+	}
+	ids := make([]int, p)
+	for i := range ids {
+		ids[i] = i
+	}
+	if err := consider(spectralPartitionSized(m, ids, sizes)); err != nil {
+		return nil, err
+	}
+	for _, g := range best {
+		sort.Ints(g)
+	}
+	return best, nil
+}
+
+// PartitionAcrossWeightedMatrix runs PartitionAcrossWeighted and
+// additionally emits the aggregated group-to-group matrix, the input of the
+// capacity-constrained group→node matching (AssignClassed) on multi-switch
+// fabrics.
+func PartitionAcrossWeightedMatrix(m *comm.Matrix, caps []int, opt Options) ([][]int, *comm.Matrix, error) {
+	groups, err := PartitionAcrossWeighted(m, caps, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	agg, err := m.Aggregate(groups)
+	if err != nil {
+		return nil, nil, err
+	}
+	return groups, agg, nil
+}
+
+// weightedSizes apportions p entities over the capacities by the largest-
+// remainder method: group g gets ⌊p·caps[g]/Σcaps⌋ plus at most one of the
+// leftover units, awarded by descending fractional part (ties towards the
+// lower index). The sizes sum to exactly p.
+func weightedSizes(p int, caps []int) []int {
+	total := 0
+	for _, c := range caps {
+		total += c
+	}
+	sizes := make([]int, len(caps))
+	rem := make([]int, len(caps)) // fractional parts, scaled by total
+	assigned := 0
+	for g, c := range caps {
+		sizes[g] = p * c / total
+		rem[g] = p * c % total
+		assigned += sizes[g]
+	}
+	order := make([]int, len(caps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rem[order[a]] > rem[order[b]] })
+	for i := 0; i < p-assigned; i++ {
+		sizes[order[i]]++
+	}
+	return sizes
+}
+
+// greedySizedGroups is greedyGroups generalized to per-group target sizes:
+// groups are built largest-first (big groups constrain the solution most,
+// so they pick coherent chunks before the leftovers fragment), each seeded
+// with the heaviest-communicating ungrouped entity and filled by strongest
+// affinity to the group so far. The returned slice is positional: result[g]
+// has exactly sizes[g] members.
+func greedySizedGroups(m *comm.Matrix, sizes []int) [][]int {
+	p := m.Order()
+	vol := make([]float64, p)
+	seedOrder := make([]int, p)
+	for i := range seedOrder {
+		seedOrder[i] = i
+		vol[i] = m.RowVolume(i)
+	}
+	sort.SliceStable(seedOrder, func(x, y int) bool { return vol[seedOrder[x]] > vol[seedOrder[y]] })
+
+	buildOrder := make([]int, len(sizes))
+	for i := range buildOrder {
+		buildOrder[i] = i
+	}
+	sort.SliceStable(buildOrder, func(a, b int) bool { return sizes[buildOrder[a]] > sizes[buildOrder[b]] })
+
+	grouped := make([]bool, p)
+	affinity := make([]float64, p)
+	out := make([][]int, len(sizes))
+	next := 0
+	for _, gi := range buildOrder {
+		a := sizes[gi]
+		if a == 0 {
+			continue
+		}
+		for next < p && grouped[seedOrder[next]] {
+			next++
+		}
+		seed := seedOrder[next]
+		g := make([]int, 0, a)
+		g = append(g, seed)
+		grouped[seed] = true
+		for i := range affinity {
+			affinity[i] = 0
+		}
+		for len(g) < a {
+			last := g[len(g)-1]
+			bestE, bestAff := -1, -1.0
+			for i := 0; i < p; i++ {
+				if grouped[i] {
+					continue
+				}
+				affinity[i] += m.At(last, i) + m.At(i, last)
+				if affinity[i] > bestAff {
+					bestE, bestAff = i, affinity[i]
+				}
+			}
+			g = append(g, bestE)
+			grouped[bestE] = true
+		}
+		out[gi] = g
+	}
+	return out
 }
 
 // PartitionAcrossMatrix runs PartitionAcross and additionally emits the
@@ -273,56 +465,14 @@ func GroupProcesses(m *comm.Matrix, a int, refinePasses int) [][]int {
 
 // greedyGroups seeds each group with the heaviest-communicating ungrouped
 // entity and fills it with the ungrouped entities that have the strongest
-// affinity to the group so far.
+// affinity to the group so far. It is the uniform-size special case of
+// greedySizedGroups (the classic TreeMatch ordering).
 func greedyGroups(m *comm.Matrix, a, k int) [][]int {
-	p := m.Order()
-	grouped := make([]bool, p)
-	// Seed order: total communication volume, heaviest first. Entities with
-	// heavy rows constrain the solution most, so they pick their partners
-	// first (the classic TreeMatch ordering).
-	order := make([]int, p)
-	for i := range order {
-		order[i] = i
+	sizes := make([]int, k)
+	for i := range sizes {
+		sizes[i] = a
 	}
-	vol := make([]float64, p)
-	for i := 0; i < p; i++ {
-		vol[i] = m.RowVolume(i)
-	}
-	sort.SliceStable(order, func(x, y int) bool { return vol[order[x]] > vol[order[y]] })
-
-	groups := make([][]int, 0, k)
-	affinity := make([]float64, p) // affinity of each entity to the group being built
-	for _, seed := range order {
-		if grouped[seed] {
-			continue
-		}
-		g := make([]int, 0, a)
-		g = append(g, seed)
-		grouped[seed] = true
-		for i := 0; i < p; i++ {
-			affinity[i] = 0
-		}
-		for len(g) < a {
-			last := g[len(g)-1]
-			best, bestAff := -1, -1.0
-			for i := 0; i < p; i++ {
-				if grouped[i] {
-					continue
-				}
-				affinity[i] += m.At(last, i) + m.At(i, last)
-				if affinity[i] > bestAff {
-					best, bestAff = i, affinity[i]
-				}
-			}
-			g = append(g, best)
-			grouped[best] = true
-		}
-		groups = append(groups, g)
-		if len(groups) == k {
-			break
-		}
-	}
-	return groups
+	return greedySizedGroups(m, sizes)
 }
 
 // refineGroups improves the partition with pairwise swaps between groups

@@ -27,10 +27,19 @@
 package treematch
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/topology"
 )
+
+// ErrUneven marks topologies (or subtrees) whose fan-outs differ within a
+// level: TreeMatch's distance model needs a balanced tree, so tree
+// derivation rejects them with an error wrapping this sentinel. Callers
+// that can degrade gracefully (hierarchical placement skipping the fabric
+// matching on an uneven fabric) test for it with errors.Is and propagate
+// everything else.
+var ErrUneven = errors.New("treematch: uneven topology")
 
 // Tree is the abstract topology tree TreeMatch operates on: a balanced tree
 // given by the arity of each internal level. The number of leaves is the
@@ -87,6 +96,64 @@ func FromTopology(t *topology.Topology, leaf topology.Kind) (*Tree, error) {
 	return tree, nil
 }
 
+// NodeSubtrees derives one abstract balanced tree per cluster node of a
+// clustered topology: the levels strictly below each cluster node down to
+// the objects of the given leaf kind. The nodes may differ from each other
+// (a heterogeneous platform), but each node's own subtree must be balanced —
+// TreeMatch's distance model needs uniform fan-outs within the tree it maps
+// onto. On a topology without a cluster level the whole machine is the
+// single node. Capacity-aware hierarchical placement maps each node's task
+// group onto that node's own subtree with the ordinary Algorithm 1.
+func NodeSubtrees(t *topology.Topology, leaf topology.Kind) ([]*Tree, error) {
+	clusterDepth := t.DepthOf(topology.Cluster)
+	if clusterDepth < 0 {
+		tree, err := FromTopology(t, leaf)
+		if err != nil {
+			return nil, err
+		}
+		return []*Tree{tree}, nil
+	}
+	leafDepth := t.DepthOf(leaf)
+	if leafDepth < 0 {
+		return nil, fmt.Errorf("treematch: topology has no %v level", leaf)
+	}
+	nodes := t.ClusterNodes()
+	trees := make([]*Tree, len(nodes))
+	for i, node := range nodes {
+		tree, err := subtreeOf(node, leafDepth)
+		if err != nil {
+			return nil, fmt.Errorf("treematch: cluster node %d: %w", i, err)
+		}
+		trees[i] = tree
+	}
+	return trees, nil
+}
+
+// subtreeOf builds the abstract balanced tree rooted at one topology object,
+// down to the given absolute depth: the per-depth fan-outs become the
+// arities (arity-1 levels collapsed), with every object at a depth required
+// to share its fan-out within this subtree only.
+func subtreeOf(root *topology.Object, toDepth int) (*Tree, error) {
+	var arities []int
+	level := []*topology.Object{root}
+	for d := root.Depth; d < toDepth; d++ {
+		a := len(level[0].Children)
+		var next []*topology.Object
+		for _, o := range level {
+			if len(o.Children) != a {
+				return nil, fmt.Errorf("%w: %v has %d children, siblings have %d",
+					ErrUneven, o, len(o.Children), a)
+			}
+			next = append(next, o.Children...)
+		}
+		if a > 1 {
+			arities = append(arities, a)
+		}
+		level = next
+	}
+	return NewTree(arities)
+}
+
 // NodeSubtree derives the abstract balanced tree of one cluster node of a
 // clustered topology: the levels strictly below the cluster level down to
 // the objects of the given leaf kind. All cluster nodes must be identical
@@ -94,6 +161,9 @@ func FromTopology(t *topology.Topology, leaf topology.Kind) (*Tree, error) {
 // without a cluster level it is equivalent to FromTopology: the whole
 // machine is the single node. Hierarchical two-level placement maps each
 // node's task group onto this subtree with the ordinary Algorithm 1.
+//
+// Deprecated: use NodeSubtrees, which additionally handles heterogeneous
+// platforms by returning one tree per node.
 func NodeSubtree(t *topology.Topology, leaf topology.Kind) (*Tree, error) {
 	clusterDepth := t.DepthOf(topology.Cluster)
 	if clusterDepth < 0 {
@@ -158,8 +228,8 @@ func treeBetween(t *topology.Topology, fromDepth, toDepth int) (*Tree, error) {
 		a := t.Arity(d)
 		for _, o := range t.Level(d) {
 			if len(o.Children) != a {
-				return nil, fmt.Errorf("treematch: uneven topology: %v has %d children, siblings have %d",
-					o, len(o.Children), a)
+				return nil, fmt.Errorf("%w: %v has %d children, siblings have %d",
+					ErrUneven, o, len(o.Children), a)
 			}
 		}
 		if a > 1 {
