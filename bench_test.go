@@ -161,9 +161,7 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	for _, r := range rows {
-		b.ReportMetric(r.Seconds, metricUnit(r.Name))
-	}
+	reportAndAssert(b, rows, "adaptive")
 }
 
 // BenchmarkAblationCluster is ablation A9: the multi-node stencil under
@@ -180,18 +178,11 @@ func BenchmarkAblationCluster(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	byName := map[string]float64{}
-	for _, r := range rows {
-		b.ReportMetric(r.Seconds, metricUnit(r.Name))
-		byName[r.Name] = r.Seconds
-	}
 	// The A9 acceptance property, enforced at bench time too: hierarchical
 	// placement must beat round-robin and never lose to flat treematch (the
 	// two can tie exactly when both find the same optimal partition; see
 	// TestAblationCluster).
-	if h := byName["cluster/hierarchical"]; h > byName["cluster/flat"] || h >= byName["cluster/rr-nodes"] {
-		b.Fatalf("hierarchical placement did not win: %+v", byName)
-	}
+	reportAndAssert(b, rows, "cluster")
 }
 
 // BenchmarkAblationRack is ablation A10: the rack-skewed stencil on a
@@ -207,18 +198,10 @@ func BenchmarkAblationRack(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	byName := map[string]float64{}
-	for _, r := range rows {
-		b.ReportMetric(r.Seconds, metricUnit(r.Name))
-		byName[r.Name] = r.Seconds
-	}
 	// The A10 acceptance property, enforced at bench time too: fabric-aware
 	// three-level placement strictly beats the fabric-blind variant, which
 	// strictly beats flat treematch.
-	aware, blind, flat := byName["rack/rack-aware"], byName["rack/rack-blind"], byName["rack/flat"]
-	if !(aware < blind && blind < flat) {
-		b.Fatalf("rack-aware placement did not win: %+v", byName)
-	}
+	reportAndAssert(b, rows, "rack")
 }
 
 // BenchmarkAblationHetero is ablation A11: the pod-skewed stencil on a
@@ -234,17 +217,51 @@ func BenchmarkAblationHetero(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	byName := map[string]float64{}
-	for _, r := range rows {
-		b.ReportMetric(r.Seconds, metricUnit(r.Name))
-		byName[r.Name] = r.Seconds
-	}
 	// The A11 acceptance property, enforced at bench time too: capacity-
 	// aware depth-aware placement strictly beats the capacity-blind
 	// variant, which strictly beats the depth-blind one.
-	aware, capBlind, depthBlind := byName["hetero/aware"], byName["hetero/capacity-blind"], byName["hetero/depth-blind"]
-	if !(aware < capBlind && capBlind < depthBlind) {
-		b.Fatalf("capacity- and depth-aware placement did not win: %+v", byName)
+	reportAndAssert(b, rows, "hetero")
+}
+
+// BenchmarkAblationShift is ablation A12: the rack-crossing phase shift
+// under one-shot hierarchical placement, the adaptive engine with flat and
+// with fabric-aware candidates, and the free-migration oracle — on the
+// default shape and on 4 racks, mirroring the two-shape acceptance property
+// of the test suite.
+func BenchmarkAblationShift(b *testing.B) {
+	for name, cfg := range map[string]experiment.ShiftConfig{
+		"2x2x8": {Seed: 42},
+		"4x2x8": {Racks: 4, Seed: 42},
+	} {
+		b.Run(name, func(b *testing.B) {
+			var rows []experiment.AblationRow
+			var err error
+			for i := 0; i < b.N; i++ {
+				rows, err = experiment.AblationShift(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// The A12 acceptance property, enforced at bench time too:
+			// fabric-aware adaptive candidates strictly beat flat ones,
+			// which strictly beat never adapting, with the oracle as the
+			// lower bound.
+			reportAndAssert(b, rows, "shift")
+		})
+	}
+}
+
+// reportAndAssert emits every row's simulated seconds as a custom metric and
+// fails the benchmark when an asserted ordering of the ablation is violated
+// — the exact same relations the test suite and cmd/ablate -json check
+// (experiment.AblationOrderings).
+func reportAndAssert(b *testing.B, rows []experiment.AblationRow, exp string) {
+	b.Helper()
+	for _, r := range rows {
+		b.ReportMetric(r.Seconds, metricUnit(r.Name))
+	}
+	if err := experiment.CheckOrderings(rows, experiment.AblationOrderings(exp)); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -14,21 +14,34 @@
 //	ablate -exp cluster     # multi-node hierarchical placement (A9)
 //	ablate -exp rack        # rack-tier fabric, three-level placement (A10)
 //	ablate -exp hetero      # heterogeneous pod-tier platform (A11)
+//	ablate -exp shift       # cross-fabric adaptive migration (A12)
 //	ablate -full            # paper-scale matrix and iterations
+//
+// -exp also accepts a comma-separated list (-exp adaptive,cluster,shift).
+// With -json the results are emitted as one machine-readable JSON document
+// on stdout — per-ablation rows with simulated seconds and cycle counts,
+// plus the asserted orderings and their verdicts — and the exit status is
+// non-zero when any asserted ordering is violated. The CI bench-smoke job
+// runs the reduced-shape A8–A12 this way and archives the document as the
+// BENCH artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/experiment"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, all")
+		exp   = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, shift, all (a comma-separated list selects several)")
 		full  = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations, 192 cores; overrides -rows/-cols/-iters/-cores)")
+		jsonF = flag.Bool("json", false, "emit one machine-readable JSON report on stdout (rows, cycle counts, ordering verdicts); exit non-zero on any ordering violation")
 		seed  = flag.Int64("seed", 7, "simulated OS scheduler seed")
 		rows  = flag.Int("rows", 4096, "matrix rows (reduced scale)")
 		cols  = flag.Int("cols", 4096, "matrix columns (reduced scale)")
@@ -42,52 +55,170 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
 		os.Exit(1)
 	}
-
-	type ablation struct {
-		name  string
-		title string
-		run   func(experiment.Config) ([]experiment.AblationRow, error)
-	}
-	all := []ablation{
-		{"policies", "A1: placement policies (LK23, blocks = cores)", experiment.AblationPolicies},
-		{"control", "A2: control-thread strategies", experiment.AblationControlThreads},
-		{"oversub", "A3: oversubscription (blocks vs cores)", experiment.AblationOversubscription},
-		{"granularity", "A4: block granularity", experiment.AblationGranularity},
-		{"topology", "A5: topology shapes (192 cores each)", func(c experiment.Config) ([]experiment.AblationRow, error) {
-			return experiment.AblationTopology(c, experiment.DefaultTopologyCases())
-		}},
-		{"distribute", "A6: NUMA distribution (cluster + distribute vs cluster only)", experiment.AblationDistribution},
-		{"ompsched", "A7: OpenMP loop schedules vs bound ORWL", experiment.AblationOMPSchedule},
-		{"adaptive", "A8: adaptive re-placement (static vs epoch feedback vs oracle)", experiment.AblationAdaptive},
-		{"cluster", "A9: multi-node placement (hierarchical vs flat vs rr-nodes vs one big node)", func(c experiment.Config) ([]experiment.AblationRow, error) {
-			return experiment.AblationCluster(experiment.ClusterConfigFrom(c))
-		}},
-		{"rack", "A10: rack-tier fabric (fabric-aware vs fabric-blind vs flat treematch)", func(c experiment.Config) ([]experiment.AblationRow, error) {
-			return experiment.AblationRack(experiment.RackConfigFrom(c))
-		}},
-		{"hetero", "A11: heterogeneous pod-tier platform (aware vs capacity-blind vs depth-blind)", func(c experiment.Config) ([]experiment.AblationRow, error) {
-			return experiment.AblationHetero(experiment.HeteroConfigFrom(c))
-		}},
-	}
-
-	ran := false
-	for _, a := range all {
-		if *exp != "all" && *exp != a.name {
-			continue
-		}
-		ran = true
-		rows, err := a.run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ablate: %s: %v\n", a.name, err)
-			os.Exit(1)
-		}
-		fmt.Print(experiment.FormatAblation(a.title, rows))
-		fmt.Println()
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "ablate: unknown experiment %q\n", *exp)
+	if err := run(os.Stdout, cfg, *exp, *jsonF); err != nil {
+		fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// ablation is one runnable study of the suite.
+type ablation struct {
+	name  string // -exp selector
+	id    string // stable identifier (A1..A12)
+	title string
+	run   func(experiment.Config) ([]experiment.AblationRow, error)
+}
+
+// ablations returns the full suite in report order.
+func ablations() []ablation {
+	return []ablation{
+		{"policies", "A1", "A1: placement policies (LK23, blocks = cores)", experiment.AblationPolicies},
+		{"control", "A2", "A2: control-thread strategies", experiment.AblationControlThreads},
+		{"oversub", "A3", "A3: oversubscription (blocks vs cores)", experiment.AblationOversubscription},
+		{"granularity", "A4", "A4: block granularity", experiment.AblationGranularity},
+		{"topology", "A5", "A5: topology shapes (192 cores each)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			return experiment.AblationTopology(c, experiment.DefaultTopologyCases())
+		}},
+		{"distribute", "A6", "A6: NUMA distribution (cluster + distribute vs cluster only)", experiment.AblationDistribution},
+		{"ompsched", "A7", "A7: OpenMP loop schedules vs bound ORWL", experiment.AblationOMPSchedule},
+		{"adaptive", "A8", "A8: adaptive re-placement (static vs epoch feedback vs oracle)", experiment.AblationAdaptive},
+		{"cluster", "A9", "A9: multi-node placement (hierarchical vs flat vs rr-nodes vs one big node)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			return experiment.AblationCluster(experiment.ClusterConfigFrom(c))
+		}},
+		{"rack", "A10", "A10: rack-tier fabric (fabric-aware vs fabric-blind vs flat treematch)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			return experiment.AblationRack(experiment.RackConfigFrom(c))
+		}},
+		{"hetero", "A11", "A11: heterogeneous pod-tier platform (aware vs capacity-blind vs depth-blind)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			return experiment.AblationHetero(experiment.HeteroConfigFrom(c))
+		}},
+		{"shift", "A12", "A12: cross-fabric adaptive migration (static vs adaptive-flat vs adaptive-fabric vs oracle)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			return experiment.AblationShift(experiment.ShiftConfigFrom(c))
+		}},
+	}
+}
+
+// selectAblations resolves a -exp value ("all", one name, or a
+// comma-separated list) against the suite, preserving report order.
+func selectAblations(exp string) ([]ablation, error) {
+	all := ablations()
+	if exp == "all" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(exp, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range all {
+			if a.name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown experiment %q", name)
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("unknown experiment %q", exp)
+	}
+	var out []ablation
+	for _, a := range all {
+		if want[a.name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// run executes the selected ablations and renders them human-readable or as
+// the machine-readable JSON report. In JSON mode an ordering violation is
+// reported through the error return after the full document is written, so
+// a CI consumer archives the evidence and still fails the job.
+func run(w io.Writer, cfg experiment.Config, exp string, asJSON bool) error {
+	selected, err := selectAblations(exp)
+	if err != nil {
+		return err
+	}
+	var report benchReport
+	violated := false
+	for _, a := range selected {
+		rows, err := a.run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %v", a.name, err)
+		}
+		if !asJSON {
+			fmt.Fprint(w, experiment.FormatAblation(a.title, rows))
+			fmt.Fprintln(w)
+			continue
+		}
+		res := benchAblation{Exp: a.name, ID: a.id, Title: a.title}
+		for _, r := range rows {
+			res.Rows = append(res.Rows, benchRow{
+				Name:    r.Name,
+				Seconds: r.Seconds,
+				Cycles:  experiment.SimCycles(r.Seconds),
+				Detail:  r.Detail,
+			})
+		}
+		for _, o := range experiment.AblationOrderings(a.name) {
+			ok := experiment.CheckOrderings(rows, []experiment.Ordering{o}) == nil
+			if !ok {
+				violated = true
+			}
+			res.Orderings = append(res.Orderings, benchOrdering{Relation: o.String(), OK: ok})
+		}
+		report.Ablations = append(report.Ablations, res)
+	}
+	if asJSON {
+		report.Schema = benchSchema
+		report.Seed = cfg.Seed
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+		if violated {
+			return fmt.Errorf("asserted ablation ordering violated (see the JSON report)")
+		}
+	}
+	return nil
+}
+
+// benchSchema versions the JSON document; bump on incompatible changes.
+const benchSchema = "repro-bench/1"
+
+// benchReport is the machine-readable bench document of -json mode.
+type benchReport struct {
+	Schema    string          `json:"schema"`
+	Seed      int64           `json:"seed"`
+	Ablations []benchAblation `json:"ablations"`
+}
+
+// benchAblation is one ablation's rows and ordering verdicts.
+type benchAblation struct {
+	Exp       string          `json:"exp"`
+	ID        string          `json:"id"`
+	Title     string          `json:"title"`
+	Rows      []benchRow      `json:"rows"`
+	Orderings []benchOrdering `json:"orderings,omitempty"`
+}
+
+// benchRow is one configuration's simulated cost.
+type benchRow struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Cycles  float64 `json:"cycles"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// benchOrdering is one asserted relation and whether it held.
+type benchOrdering struct {
+	Relation string `json:"relation"`
+	OK       bool   `json:"ok"`
 }
 
 // buildConfig assembles and validates the ablation configuration from the

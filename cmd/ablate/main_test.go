@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/experiment"
 )
 
 func TestBuildConfigValidation(t *testing.T) {
@@ -34,5 +38,91 @@ func TestBuildConfigValidation(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+func TestSelectAblations(t *testing.T) {
+	all, err := selectAblations("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 12 || all[0].id != "A1" || all[11].id != "A12" {
+		t.Fatalf("all selects %d ablations (%+v), want A1..A12", len(all), all)
+	}
+	list, err := selectAblations("shift,adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].name != "adaptive" || list[1].name != "shift" {
+		t.Fatalf("list selection %+v, want adaptive then shift in report order", list)
+	}
+	for _, bad := range []string{"nonsense", "shift,nonsense", ",", ""} {
+		if _, err := selectAblations(bad); err == nil {
+			t.Errorf("selector %q accepted", bad)
+		}
+	}
+}
+
+// TestRunJSONReport drives the machine-readable mode end to end on the A12
+// ablation: the report must carry the schema marker, per-row seconds and
+// cycle counts (consistent with each other), and the asserted orderings
+// with passing verdicts.
+func TestRunJSONReport(t *testing.T) {
+	cfg := experiment.Config{Rows: 1024, Cols: 1024, Iters: 4, Cores: 16, Seed: 42}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, cfg, "shift", true); err != nil {
+		t.Fatalf("run -json: %v\n%s", err, buf.String())
+	}
+	var report benchReport
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if report.Schema != benchSchema {
+		t.Errorf("schema %q, want %q", report.Schema, benchSchema)
+	}
+	if report.Seed != 42 {
+		t.Errorf("seed %d, want 42", report.Seed)
+	}
+	if len(report.Ablations) != 1 {
+		t.Fatalf("%d ablations, want 1: %+v", len(report.Ablations), report)
+	}
+	a := report.Ablations[0]
+	if a.ID != "A12" || a.Exp != "shift" {
+		t.Errorf("ablation identity %s/%s, want A12/shift", a.ID, a.Exp)
+	}
+	if len(a.Rows) != len(experiment.ShiftModes()) {
+		t.Errorf("%d rows, want %d", len(a.Rows), len(experiment.ShiftModes()))
+	}
+	for _, r := range a.Rows {
+		if r.Seconds <= 0 || r.Cycles <= 0 {
+			t.Errorf("row %s has non-positive cost: %+v", r.Name, r)
+		}
+		if want := experiment.SimCycles(r.Seconds); r.Cycles != want {
+			t.Errorf("row %s cycles %v inconsistent with seconds (want %v)", r.Name, r.Cycles, want)
+		}
+	}
+	if len(a.Orderings) != len(experiment.AblationOrderings("shift")) {
+		t.Fatalf("%d ordering verdicts, want %d", len(a.Orderings), len(experiment.AblationOrderings("shift")))
+	}
+	for _, o := range a.Orderings {
+		if !o.OK {
+			t.Errorf("asserted ordering %q violated in the reduced-shape run", o.Relation)
+		}
+	}
+}
+
+// TestRunHumanReport pins the default rendering path.
+func TestRunHumanReport(t *testing.T) {
+	cfg := experiment.Config{Rows: 1024, Cols: 1024, Iters: 4, Cores: 16, Seed: 42}
+	var buf bytes.Buffer
+	if err := run(&buf, cfg, "shift", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "A12") || !strings.Contains(out, "shift/adaptive-fabric") {
+		t.Errorf("human report misses the A12 rows:\n%s", out)
 	}
 }

@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// The asserted ablation orderings, shared by the test suite, the bench
+// harness (bench_test.go) and the machine-readable bench pipeline
+// (cmd/ablate -json): each beyond-the-paper ablation states which arms must
+// come out ahead, and every consumer checks the same statements, so a
+// placement regression cannot pass one gate and slip through another.
+
+// Ordering is one asserted relation between two ablation rows: the row
+// named Before must finish in no more (strictly less, when Strict) simulated
+// time than the row named After.
+type Ordering struct {
+	Before, After string
+	Strict        bool
+}
+
+// String renders the relation, e.g. "rack/rack-aware < rack/flat".
+func (o Ordering) String() string {
+	op := "<="
+	if o.Strict {
+		op = "<"
+	}
+	return fmt.Sprintf("%s %s %s", o.Before, op, o.After)
+}
+
+// AblationOrderings returns the asserted orderings of one ablation,
+// identified by its cmd/ablate experiment name. Ablations without a pinned
+// ordering (the paper-reproduction sweeps, where the interesting output is
+// the whole curve) return nil.
+func AblationOrderings(exp string) []Ordering {
+	switch exp {
+	case "adaptive": // A8
+		return []Ordering{
+			{Before: "phase/adaptive", After: "phase/static", Strict: true},
+			{Before: "phase/oracle", After: "phase/adaptive"},
+		}
+	case "cluster": // A9
+		// Strict against the affinity-blind baseline; flat treematch can tie
+		// exactly when both policies find the same optimal partition (the
+		// reduced 4-node shape does; see TestAblationCluster).
+		return []Ordering{
+			{Before: "cluster/hierarchical", After: "cluster/flat"},
+			{Before: "cluster/hierarchical", After: "cluster/rr-nodes", Strict: true},
+		}
+	case "rack": // A10
+		return []Ordering{
+			{Before: "rack/rack-aware", After: "rack/rack-blind", Strict: true},
+			{Before: "rack/rack-blind", After: "rack/flat", Strict: true},
+		}
+	case "hetero": // A11
+		return []Ordering{
+			{Before: "hetero/aware", After: "hetero/capacity-blind", Strict: true},
+			{Before: "hetero/capacity-blind", After: "hetero/depth-blind", Strict: true},
+		}
+	case "shift": // A12
+		return []Ordering{
+			{Before: "shift/adaptive-fabric", After: "shift/adaptive-flat", Strict: true},
+			{Before: "shift/adaptive-flat", After: "shift/static", Strict: true},
+			{Before: "shift/oracle", After: "shift/adaptive-fabric"},
+		}
+	}
+	return nil
+}
+
+// CheckOrderings verifies every asserted ordering against a set of ablation
+// rows and returns the joined violations (nil when all hold). A relation
+// whose rows are missing is itself a violation: a renamed arm must not
+// silently disable its assertion.
+func CheckOrderings(rows []AblationRow, orderings []Ordering) error {
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Name] = r.Seconds
+	}
+	var errs []error
+	for _, o := range orderings {
+		before, okB := byName[o.Before]
+		after, okA := byName[o.After]
+		if !okB || !okA {
+			errs = append(errs, fmt.Errorf("ordering %q: missing row (have %v)", o, names(rows)))
+			continue
+		}
+		if (o.Strict && !(before < after)) || (!o.Strict && before > after) {
+			errs = append(errs, fmt.Errorf("ordering %q violated: %.6fs vs %.6fs", o, before, after))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func names(rows []AblationRow) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// SimCycles converts a simulated-seconds figure to cycles of the default
+// simulated clock, the unit the machine model accumulates internally. Every
+// experiment builds its machines with the default attributes, so this is the
+// exact inverse of numasim.Machine.CyclesToSeconds for the reported rows.
+func SimCycles(seconds float64) float64 {
+	return seconds * topology.DefaultAttrs().ClockHz
+}

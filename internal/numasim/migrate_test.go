@@ -167,3 +167,45 @@ func TestMigrationCostCyclesPredicts(t *testing.T) {
 		t.Errorf("cross-socket migration %v not costlier than same-socket %v", far, near)
 	}
 }
+
+// TestMigrationCostNetworkPriced pins that the migration prediction an
+// adaptive engine weighs is priced in network cycles once the move crosses
+// the fabric: dragging the same working set costs strictly more across a
+// node boundary than inside a node (the pull streams over two NIC links
+// instead of shared memory), strictly more again across a rack boundary
+// (the uplink hops join the path), and more still when the uplinks are
+// declared contended (per-link streams share the uplink bandwidth).
+func TestMigrationCostNetworkPriced(t *testing.T) {
+	topo, err := topology.FromSpec("rack:2 node:2 pack:1 l3:1 core:2 pu:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(topo, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ws = 4 << 20
+	// PUs: 2 per node, 2 nodes per rack: PU 0 (node 0, rack 0), PU 1 same
+	// node, PU 2 (node 1, rack 0), PU 4 (node 2, rack 1).
+	intra := m.MigrationCostCycles(0, 1, ws)
+	crossNode := m.MigrationCostCycles(0, 2, ws)
+	crossRack := m.MigrationCostCycles(0, 4, ws)
+	if !(intra < crossNode) {
+		t.Errorf("intra-node migration %.0f not below cross-node %.0f; the NIC path went unpriced", intra, crossNode)
+	}
+	if !(crossNode < crossRack) {
+		t.Errorf("cross-node migration %.0f not below cross-rack %.0f; the uplink hops went unpriced", crossNode, crossRack)
+	}
+	penalty := m.Config().MigrationPenaltyCycles
+	if crossRack <= penalty {
+		t.Errorf("cross-rack migration %.0f not above the bare penalty %.0f", crossRack, penalty)
+	}
+	// Declared uplink contention must raise the cross-rack bill: the pull
+	// streams at the bottleneck link's shared bandwidth.
+	m.SetLinkStreams(0, []int{1, 1, 1, 1})
+	m.SetLinkStreams(1, []int{8, 8})
+	contended := m.MigrationCostCycles(0, 4, ws)
+	if !(crossRack < contended) {
+		t.Errorf("uplink contention did not raise the cross-rack migration bill: %.0f vs %.0f", crossRack, contended)
+	}
+}

@@ -3,6 +3,7 @@ package orwl
 import (
 	"testing"
 
+	"repro/internal/comm"
 	"repro/internal/numasim"
 	"repro/internal/topology"
 )
@@ -309,5 +310,87 @@ func TestConfigureEpochsValidation(t *testing.T) {
 	}
 	if err := rt2.ConfigureEpochs(1, 0, nil); err == nil {
 		t.Errorf("ConfigureEpochs after Run accepted")
+	}
+}
+
+// TestEpochWindowSurvivesCrossNodeRebind pins the feedback loop at cluster
+// scale: rebinding a task across a cluster-node boundary mid-run (the
+// fabric-priced inter-node migration of adaptive placement) must neither
+// stall the quiesced runtime nor break the windowed measured matrix — the
+// window keeps accumulating the migrated task's traffic under its stable
+// task ID, and the task's written region is re-homed onto the new node.
+func TestEpochWindowSurvivesCrossNodeRebind(t *testing.T) {
+	topo, err := topology.FromSpec("rack:2 node:2 pack:1 l3:1 core:2 pu:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := numasim.New(topo, numasim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(Options{Machine: mach})
+	const n, iters, volume = 4, 12, 1 << 16
+	epochRing(t, rt, n, iters, volume)
+	tasks := rt.Tasks()
+	for i, task := range tasks {
+		// One task per cluster node: PUs 0,2,4,6 on the 2-rack fabric.
+		if err := rt.Bind(task, 2*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rebind task 0 across the rack boundary at the first epoch (PU 0,
+	// node 0, rack 0 → PU 6, node 3, rack 1), and capture the window a
+	// later epoch's hook observes — the matrix an adaptive engine would
+	// decide from after the move.
+	moved := false
+	var postMove *comm.Matrix
+	err = rt.ConfigureEpochs(4, 0, func(ep *Epoch) {
+		switch ep.Index() {
+		case 1:
+			for _, task := range ep.Tasks() {
+				if task.ID() == 0 {
+					if err := ep.Rebind(task, 6); err != nil {
+						t.Errorf("cross-node rebind: %v", err)
+					}
+					moved = true
+				}
+			}
+		case 2:
+			postMove = ep.Window()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !moved {
+		t.Fatal("the epoch hook never saw task 0")
+	}
+	if got := tasks[0].Proc().PU(); got != 6 {
+		t.Errorf("task 0 on PU %d after the run, want 6", got)
+	}
+	// The written region followed the task across the fabric.
+	if home := rt.Locations()[0].Region().Home(); home != mach.NodeOfPU(6) {
+		t.Errorf("task 0's region homed on node %d, want node %d", home, mach.NodeOfPU(6))
+	}
+	// The second epoch's window covers post-rebind iterations only (the
+	// roll at epoch 1 cleared everything earlier): it must still record the
+	// migrated task's exchanges under its stable ID 0.
+	if postMove == nil {
+		t.Fatal("the second epoch never fired")
+	}
+	if postMove.Order() != n {
+		t.Fatalf("window order %d, want %d", postMove.Order(), n)
+	}
+	if vol := postMove.At(0, 1) + postMove.At(1, 0) + postMove.At(0, n-1) + postMove.At(n-1, 0); vol <= 0 {
+		t.Errorf("no post-rebind traffic recorded for the migrated task (window row0 %v)", vol)
+	}
+	// The unbounded measured matrix agrees: task 0's total recorded volume
+	// spans the whole run, before and after the move.
+	m := rt.MeasuredCommMatrix()
+	if vol := m.At(0, 1) + m.At(0, n-1); vol < float64(volume)*float64(iters-1) {
+		t.Errorf("measured matrix lost the migrated task's traffic: %v", vol)
 	}
 }

@@ -183,6 +183,14 @@ func (l *Location) remove(r *request, reinsert *request, releaseClock float64, r
 		if releaseClock > l.frontier || l.frontierPU == -1 {
 			l.frontier = releaseClock
 			l.frontierPU = releasePU
+		} else if releaseClock == l.frontier && releasePU < l.frontierPU {
+			// Concurrent releases can carry the exact same virtual clock —
+			// routine once an epoch barrier has advanced every task to the
+			// same time — and real-time arrival order between them is
+			// scheduler noise. Break the tie deterministically (lowest PU
+			// wins) so the frontier, and with it the grant-time transfer
+			// pricing, never depends on goroutine interleaving.
+			l.frontierPU = releasePU
 		}
 	}
 	// Only a write release changes who produced the location's data; the

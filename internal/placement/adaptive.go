@@ -12,10 +12,16 @@ import (
 
 // AdaptiveOptions configures the epoch-based adaptive re-placement engine.
 type AdaptiveOptions struct {
-	// Base computes every candidate mapping: the initial one from the
-	// statically extracted affinity matrix, and one per epoch from the
-	// windowed measured matrix. Defaults to TreeMatch{}.
+	// Base computes the initial mapping from the statically extracted
+	// affinity matrix, exactly like Place. Defaults to TreeMatch{}.
 	Base Policy
+	// Candidate computes the per-epoch candidate mapping from the windowed
+	// measured matrix. Defaults to Base, but the two may differ: on a
+	// clustered platform, Hierarchical candidates re-run the full fabric
+	// path (node partition, fabric-tree matching) on the observed window,
+	// where flat TreeMatch candidates only re-group bottom-up — the A12
+	// ablation isolates exactly that difference.
+	Candidate Policy
 	// EpochIters is the number of iterations between re-placement
 	// decisions. Required (>= 1).
 	EpochIters int
@@ -46,6 +52,13 @@ type AdaptiveStats struct {
 	Applied, Skipped int
 	// Rebinds is the total number of task migrations committed.
 	Rebinds int
+	// IntraNodeRebinds counts the committed moves that stayed inside one
+	// cluster node (every move, on a single machine); CrossNodeRebinds the
+	// moves that crossed a cluster-node boundary and therefore dragged the
+	// task's working set over the fabric; CrossRackRebinds the subset of
+	// those that additionally crossed a rack (or pod) boundary and paid the
+	// uplink path. Rebinds = IntraNodeRebinds + CrossNodeRebinds.
+	IntraNodeRebinds, CrossNodeRebinds, CrossRackRebinds int
 	// PredictedGainCycles and MigrationCostCycles accumulate the model's
 	// side of every applied decision, for reporting.
 	PredictedGainCycles float64
@@ -93,6 +106,9 @@ func PlaceAdaptive(rt *orwl.Runtime, opts AdaptiveOptions) (*AdaptiveEngine, err
 	if opts.Base == nil {
 		opts.Base = TreeMatch{}
 	}
+	if opts.Candidate == nil {
+		opts.Candidate = opts.Base
+	}
 	if opts.Hysteresis == 0 {
 		opts.Hysteresis = 1
 	}
@@ -131,7 +147,7 @@ func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
 		e.stats.Skipped++
 		return
 	}
-	cand, err := e.opts.Base.Assign(e.mach, w)
+	cand, err := e.opts.Candidate.Assign(e.mach, w)
 	if err != nil {
 		e.errs = append(e.errs, fmt.Errorf("epoch %d: %w", ep.Index(), err))
 		e.stats.Skipped++
@@ -154,7 +170,10 @@ func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
 	gain := MappingCost(e.mach, w, e.current) - MappingCost(e.mach, w, cand.TaskPU)
 	var migCost float64
 	for id, pu := range cand.TaskPU {
-		if pu != e.current[id] {
+		// An unbound candidate slot (pu < 0) is never applied — the apply
+		// loop below skips it with the same guard — so it costs nothing
+		// here either; pricing it would index the PU tables with -1.
+		if pu >= 0 && pu != e.current[id] {
 			migCost += e.mach.MigrationCostCycles(e.current[id], pu, e.migrateBytes[id])
 		}
 		// Control-thread rebinds are applied below, so they must be priced
@@ -179,6 +198,7 @@ func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
 	for _, t := range live {
 		id := t.ID()
 		if pu := cand.TaskPU[id]; pu >= 0 && pu != e.current[id] {
+			from := e.current[id]
 			var err error
 			if e.opts.FreeMigration {
 				err = ep.RebindFree(t, pu)
@@ -191,6 +211,27 @@ func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
 			}
 			e.current[id] = pu
 			e.stats.Rebinds++
+			// Classify the move by the fabric levels it crossed: an
+			// intra-node move re-homes through shared memory, a cross-node
+			// move drags the working set over the NIC links, and a
+			// cross-rack (or cross-pod) move additionally pays the uplink
+			// path — the distinction the fabric-priced hysteresis weighed.
+			// A previously unbound task (from < 0, e.g. a NoBind base)
+			// counts as leaving cluster node 0, matching how
+			// MigrationCostCycles prices that move (a node-0 pull).
+			fromC := 0
+			if from >= 0 {
+				fromC = e.mach.ClusterNodeOfPU(from)
+			}
+			switch toC := e.mach.ClusterNodeOfPU(pu); {
+			case fromC == toC:
+				e.stats.IntraNodeRebinds++
+			case e.mach.SameRack(fromC, toC):
+				e.stats.CrossNodeRebinds++
+			default:
+				e.stats.CrossNodeRebinds++
+				e.stats.CrossRackRebinds++
+			}
 		}
 		if ctl := cand.ControlPU[id]; ctl != e.currentCtl[id] {
 			if err := ep.RebindControl(t, ctl); err != nil {
@@ -203,6 +244,17 @@ func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
 	e.stats.Applied++
 	e.stats.PredictedGainCycles += gain
 	e.stats.MigrationCostCycles += migCost
+	// The committed mapping changed where the crossing streams run, so the
+	// per-link fabric contention declared before the run is stale: re-derive
+	// it from the new layout and the traffic the engine just acted on. The
+	// per-NUMA-node accessor side (SetContention) needs no refresh — it
+	// charges the machine-wide average pressure, which depends only on the
+	// heavy-task and unbound counts, both unchanged by re-binding bound
+	// tasks. A no-op on single-machine topologies (NumFabricLevels is 0
+	// there), which keeps the A8 results bit-stable.
+	if e.mach.NumFabricLevels() > 0 {
+		SetFabricContention(e.mach, e.assignmentLocked(), w)
+	}
 }
 
 // Stats returns a snapshot of the engine's decision counters.
@@ -224,9 +276,15 @@ func (e *AdaptiveEngine) Err() error {
 func (e *AdaptiveEngine) Assignment() *Assignment {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	name := "adaptive(" + e.opts.Base.Name() + ")"
+	return e.assignmentLocked()
+}
+
+// assignmentLocked is Assignment without taking the engine lock, for use
+// from inside the epoch hook (which already holds it).
+func (e *AdaptiveEngine) assignmentLocked() *Assignment {
+	name := "adaptive(" + e.opts.Candidate.Name() + ")"
 	if e.opts.FreeMigration {
-		name = "oracle(" + e.opts.Base.Name() + ")"
+		name = "oracle(" + e.opts.Candidate.Name() + ")"
 	}
 	return &Assignment{
 		Policy:       name,

@@ -3,9 +3,87 @@ package treematch
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/comm"
 )
+
+// partitionCandidate is one deterministic grouping heuristic of the
+// portfolio, KL refinement included: it builds its groups from scratch on
+// every call and touches the shared matrix read-only, so candidates can be
+// evaluated concurrently.
+type partitionCandidate func() ([][]int, error)
+
+// scoredPartition is one evaluated candidate: its groups plus the exact
+// quality metrics the best-pick compares (intra-group volume, crossing
+// streams in total and for the most exposed group).
+type scoredPartition struct {
+	groups        [][]int
+	intra         float64
+	streams, peak int
+	err           error
+}
+
+// scorePartition runs one candidate and measures it.
+func scorePartition(m *comm.Matrix, c partitionCandidate) scoredPartition {
+	groups, err := c()
+	if err != nil {
+		return scoredPartition{err: err}
+	}
+	s, peak := crossingStats(m, groups)
+	return scoredPartition{groups: groups, intra: intraVolume(m, groups), streams: s, peak: peak}
+}
+
+// evalPartitionCandidates evaluates the portfolio — one goroutine per
+// candidate when concurrent — and returns the per-candidate scores in the
+// portfolio's fixed order. Every candidate builds and refines its own
+// groups and reads the shared matrix only, so the concurrent evaluation is
+// race-free and candidate order carries all the determinism.
+func evalPartitionCandidates(m *comm.Matrix, cands []partitionCandidate, concurrent bool) []scoredPartition {
+	scored := make([]scoredPartition, len(cands))
+	if !concurrent {
+		for i, c := range cands {
+			scored[i] = scorePartition(m, c)
+		}
+		return scored
+	}
+	var wg sync.WaitGroup
+	for i, c := range cands {
+		wg.Add(1)
+		go func(i int, c partitionCandidate) {
+			defer wg.Done()
+			scored[i] = scorePartition(m, c)
+		}(i, c)
+	}
+	wg.Wait()
+	return scored
+}
+
+// pickPartition selects the winning candidate by the exact measured cut:
+// maximum intra-group volume first (the total is fixed, so that is the
+// minimum cut); among equal cuts the partition whose most exposed group
+// sends the fewest streams across the boundary, then the fewest crossing
+// entities overall — per-link fabric contention is set by the most
+// contended NIC, so balancing the crossing streams matters even at equal
+// cut volume. Candidates are compared in portfolio order, so the result is
+// bit-identical whether the portfolio was evaluated sequentially or
+// concurrently.
+func pickPartition(scored []scoredPartition) ([][]int, error) {
+	var best [][]int
+	bestIntra := -1.0
+	bestStreams, bestPeak := 0, 0
+	for _, sc := range scored {
+		if sc.err != nil {
+			return nil, sc.err
+		}
+		if sc.intra > bestIntra ||
+			(sc.intra == bestIntra && (sc.peak < bestPeak || (sc.peak == bestPeak && sc.streams < bestStreams))) {
+			bestIntra, bestStreams, bestPeak = sc.intra, sc.streams, sc.peak
+			best = sc.groups
+		}
+	}
+	return best, nil
+}
 
 // PartitionAcross partitions the entities of the matrix into k groups of
 // equal capacity ceil(p/k), minimizing the communication volume cut between
@@ -26,7 +104,10 @@ import (
 // geometry-free candidate that finds the quadrant partitions of square
 // lattices, where the others stop at slab or center-block local optima) —
 // KL-refines each at the fine level, and keeps the one with the smallest
-// cut, measured exactly.
+// cut, measured exactly. The candidates are evaluated concurrently (one
+// goroutine per candidate; each builds and refines its own groups against
+// the read-only matrix) and the winner is picked in fixed portfolio order,
+// so the result is bit-identical to a sequential evaluation.
 func PartitionAcross(m *comm.Matrix, k int, opt Options) ([][]int, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("treematch: PartitionAcross needs at least 1 group, got %d", k)
@@ -44,81 +125,10 @@ func PartitionAcross(m *comm.Matrix, k int, opt Options) ([][]int, error) {
 			return nil, err
 		}
 	}
-	// The node-level cut is the expensive one (every cut byte crosses the
-	// network), so refinement always runs here even when per-core grouping
-	// of a matrix this size would skip it.
-	passes := opt.refinePasses(0)
-
-	var best [][]int
-	bestIntra := -1.0
-	bestStreams, bestPeak := 0, 0
-	consider := func(groups [][]int, err error) error {
-		if err != nil {
-			return err
-		}
-		if passes > 0 && k > 1 && per > 1 {
-			refineGroups(work, groups, passes)
-		}
-		// Maximum intra-group volume == minimum cut (the total is fixed).
-		// Among equal cuts, prefer the partition whose most exposed group
-		// sends the fewest streams across the boundary, then the one with
-		// the fewest crossing entities overall: per-link fabric contention
-		// is set by the most contended NIC, so balancing the crossing
-		// streams matters even at equal cut volume.
-		v := intraVolume(work, groups)
-		s, peak := crossingStats(work, groups)
-		if v > bestIntra ||
-			(v == bestIntra && (peak < bestPeak || (peak == bestPeak && s < bestStreams))) {
-			bestIntra, bestStreams, bestPeak = v, s, peak
-			best = groups
-		}
-		return nil
-	}
-	// Refinement is centralized in consider, so the direct candidate is
-	// built unrefined (GroupProcesses would otherwise run the same KL
-	// passes a second time).
-	if err := consider(GroupProcesses(work, per, 0), nil); err != nil {
+	best, err := pickPartition(evalPartitionCandidates(work, equalPartitionCandidates(work, p, k, per, opt), true))
+	if err != nil {
 		return nil, err
 	}
-	// For odd k the bisection degenerates to the direct k-way grouping at
-	// its top level, so the candidate would be a duplicate.
-	if k%2 == 0 {
-		ids := make([]int, work.Order())
-		for i := range ids {
-			ids[i] = i
-		}
-		if err := consider(bisectPartition(work, ids, k, passes)); err != nil {
-			return nil, err
-		}
-	}
-	if err := consider(coarsenPartition(work, k, passes)); err != nil {
-		return nil, err
-	}
-	// Split-finer-then-merge: partition into 2k half-size groups first, then
-	// pair-merge them by aggregated affinity. The fine groups come out
-	// compact, so the merged partition tends towards blocky shapes whose
-	// crossing streams are balanced across the groups — the layouts direct
-	// k-way grouping and recursive bisection miss when an equal-cut slice
-	// partition exists.
-	if k > 1 && per%2 == 0 && per > 1 {
-		if err := consider(mergeFinePartition(work, k, passes)); err != nil {
-			return nil, err
-		}
-	}
-	// Spectral bisection, considered last so that ties keep the portfolio's
-	// established winners. Only without padding: zero-volume padding entities
-	// are isolated vertices whose Laplacian component dominates the power
-	// iteration and drowns the Fiedler direction.
-	if k%2 == 0 && per*k == p && per > 1 {
-		ids := make([]int, p)
-		for i := range ids {
-			ids[i] = i
-		}
-		if err := consider(spectralPartition(work, ids, k, passes)); err != nil {
-			return nil, err
-		}
-	}
-
 	out := make([][]int, k)
 	for gi, g := range best {
 		for _, e := range g {
@@ -128,6 +138,89 @@ func PartitionAcross(m *comm.Matrix, k int, opt Options) ([][]int, error) {
 		}
 	}
 	return out, nil
+}
+
+// equalPartitionCandidates assembles the equal-capacity portfolio in its
+// fixed order (the order pickPartition breaks ties in). orig is the
+// unpadded entity count — work may carry zero-volume padding up to
+// k·ceil(orig/k), and the spectral candidate must know the difference.
+// Each candidate runs its own KL refinement, so the portfolio can be
+// evaluated concurrently — at 10k+ tasks the refinement passes dominate
+// PartitionAcross, and the candidates are independent by construction.
+func equalPartitionCandidates(work *comm.Matrix, orig, k, per int, opt Options) []partitionCandidate {
+	// The node-level cut is the expensive one (every cut byte crosses the
+	// network), so refinement always runs here even when per-core grouping
+	// of a matrix this size would skip it.
+	passes := opt.refinePasses(0)
+	refine := func(groups [][]int) [][]int {
+		if passes > 0 && k > 1 && per > 1 {
+			refineGroups(work, groups, passes)
+		}
+		return groups
+	}
+	p := work.Order()
+	// The direct candidate is built unrefined (refine runs the KL passes
+	// once, afterwards; GroupProcesses would otherwise run them twice).
+	cands := []partitionCandidate{
+		func() ([][]int, error) { return refine(GroupProcesses(work, per, 0)), nil },
+	}
+	// For odd k the bisection degenerates to the direct k-way grouping at
+	// its top level, so the candidate would be a duplicate.
+	if k%2 == 0 {
+		cands = append(cands, func() ([][]int, error) {
+			groups, err := bisectPartition(work, identityIDs(p), k, passes)
+			if err != nil {
+				return nil, err
+			}
+			return refine(groups), nil
+		})
+	}
+	cands = append(cands, func() ([][]int, error) {
+		groups, err := coarsenPartition(work, k, passes)
+		if err != nil {
+			return nil, err
+		}
+		return refine(groups), nil
+	})
+	// Split-finer-then-merge: partition into 2k half-size groups first, then
+	// pair-merge them by aggregated affinity. The fine groups come out
+	// compact, so the merged partition tends towards blocky shapes whose
+	// crossing streams are balanced across the groups — the layouts direct
+	// k-way grouping and recursive bisection miss when an equal-cut slice
+	// partition exists.
+	if k > 1 && per%2 == 0 && per > 1 {
+		cands = append(cands, func() ([][]int, error) {
+			groups, err := mergeFinePartition(work, k, passes)
+			if err != nil {
+				return nil, err
+			}
+			return refine(groups), nil
+		})
+	}
+	// Spectral bisection, considered last so that ties keep the portfolio's
+	// established winners. Only without padding (per·k equals the unpadded
+	// order): zero-volume padding entities are isolated vertices whose
+	// Laplacian component dominates the power iteration and drowns the
+	// Fiedler direction.
+	if k%2 == 0 && per*k == orig && per > 1 {
+		cands = append(cands, func() ([][]int, error) {
+			groups, err := spectralPartition(work, identityIDs(p), k, passes)
+			if err != nil {
+				return nil, err
+			}
+			return refine(groups), nil
+		})
+	}
+	return cands
+}
+
+// identityIDs returns the identity entity list 0..n-1.
+func identityIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
 }
 
 // PartitionAcrossWeighted partitions the entities of the matrix into
@@ -164,34 +257,24 @@ func PartitionAcrossWeighted(m *comm.Matrix, caps []int, opt Options) ([][]int, 
 	}
 	sizes := weightedSizes(p, caps)
 	passes := opt.refinePasses(0)
-
-	var best [][]int
-	bestIntra := -1.0
-	bestStreams, bestPeak := 0, 0
-	consider := func(groups [][]int, err error) error {
-		if err != nil {
-			return err
-		}
+	refine := func(groups [][]int) [][]int {
 		if passes > 0 && k > 1 {
 			refineGroups(m, groups, passes)
 		}
-		v := intraVolume(m, groups)
-		s, peak := crossingStats(m, groups)
-		if v > bestIntra ||
-			(v == bestIntra && (peak < bestPeak || (peak == bestPeak && s < bestStreams))) {
-			bestIntra, bestStreams, bestPeak = v, s, peak
-			best = groups
-		}
-		return nil
+		return groups
 	}
-	if err := consider(greedySizedGroups(m, sizes), nil); err != nil {
-		return nil, err
+	cands := []partitionCandidate{
+		func() ([][]int, error) { return refine(greedySizedGroups(m, sizes)), nil },
+		func() ([][]int, error) {
+			groups, err := spectralPartitionSized(m, identityIDs(p), sizes)
+			if err != nil {
+				return nil, err
+			}
+			return refine(groups), nil
+		},
 	}
-	ids := make([]int, p)
-	for i := range ids {
-		ids[i] = i
-	}
-	if err := consider(spectralPartitionSized(m, ids, sizes)); err != nil {
+	best, err := pickPartition(evalPartitionCandidates(m, cands, true))
+	if err != nil {
 		return nil, err
 	}
 	for _, g := range best {

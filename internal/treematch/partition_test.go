@@ -1,6 +1,8 @@
 package treematch
 
 import (
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/comm"
@@ -116,5 +118,113 @@ func TestPartitionAcrossDegenerate(t *testing.T) {
 	groups, err = PartitionAcross(comm.Ring(5, 10), 1, Options{})
 	if err != nil || len(groups) != 1 || len(groups[0]) != 5 {
 		t.Errorf("k=1: groups=%v err=%v", groups, err)
+	}
+}
+
+// TestPartitionAcrossConcurrentMatchesSequential pins that the concurrent
+// candidate-portfolio evaluation is bit-identical to a sequential pass over
+// the same portfolio: the candidates are independent and the best-pick runs
+// in fixed candidate order, so parallelism must not be observable in the
+// result. (PartitionAcross evaluates concurrently; the sequential arm here
+// drives the identical portfolio through the same scorer one by one.)
+func TestPartitionAcrossConcurrentMatchesSequential(t *testing.T) {
+	matrices := map[string]*comm.Matrix{
+		"lattice8x8": comm.Stencil2D(8, 8, 100, 0),
+		"lattice6x4": comm.Stencil2D(6, 4, 100, 10),
+		"ring30":     comm.Ring(30, 64),
+		"random24":   comm.Random(24, 0.4, 1000, 7),
+		"random36":   comm.Random(36, 0.25, 512, 11),
+	}
+	for name, m := range matrices {
+		for _, k := range []int{2, 3, 4} {
+			per := (m.Order() + k - 1) / k
+			work := m
+			if per*k > m.Order() {
+				var err error
+				work, err = m.ExtendZero(per * k)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			seq, err := pickPartition(evalPartitionCandidates(work, equalPartitionCandidates(work, m.Order(), k, per, Options{}), false))
+			if err != nil {
+				t.Fatalf("%s k=%d sequential: %v", name, k, err)
+			}
+			conc, err := PartitionAcross(m, k, Options{})
+			if err != nil {
+				t.Fatalf("%s k=%d concurrent: %v", name, k, err)
+			}
+			// Strip the padding from the sequential result the same way
+			// PartitionAcross does before comparing.
+			want := make([][]int, k)
+			for gi, g := range seq {
+				for _, e := range g {
+					if e < m.Order() {
+						want[gi] = append(want[gi], e)
+					}
+				}
+			}
+			if !reflect.DeepEqual(conc, want) {
+				t.Errorf("%s k=%d: concurrent %v != sequential %v", name, k, conc, want)
+			}
+		}
+	}
+}
+
+// TestPartitionAcrossWeightedConcurrentMatchesSequential is the same pin for
+// the capacity-weighted portfolio.
+func TestPartitionAcrossWeightedConcurrentMatchesSequential(t *testing.T) {
+	m := comm.Random(24, 0.5, 2048, 3)
+	caps := []int{8, 4, 4}
+	sizes := weightedSizes(m.Order(), caps)
+	passes := Options{}.refinePasses(0)
+	refine := func(groups [][]int) [][]int {
+		if passes > 0 && len(caps) > 1 {
+			refineGroups(m, groups, passes)
+		}
+		return groups
+	}
+	cands := []partitionCandidate{
+		func() ([][]int, error) { return refine(greedySizedGroups(m, sizes)), nil },
+		func() ([][]int, error) {
+			groups, err := spectralPartitionSized(m, identityIDs(m.Order()), sizes)
+			if err != nil {
+				return nil, err
+			}
+			return refine(groups), nil
+		},
+	}
+	seq, err := pickPartition(evalPartitionCandidates(m, cands, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range seq {
+		sort.Ints(g)
+	}
+	conc, err := PartitionAcrossWeighted(m, caps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(conc, seq) {
+		t.Errorf("concurrent %v != sequential %v", conc, seq)
+	}
+}
+
+// TestSpectralCandidateSkippedOnPaddedMatrices pins the portfolio's
+// no-padding guard: spectral bisection joins the candidate list only when
+// per·k equals the unpadded order, because zero-volume padding entities
+// drown the Fiedler direction. The guard compares against the original
+// order, not the padded working matrix's.
+func TestSpectralCandidateSkippedOnPaddedMatrices(t *testing.T) {
+	m := comm.Random(30, 0.4, 1000, 5)
+	work, err := m.ExtendZero(32) // k=4 pads 30 entities to 32
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded := equalPartitionCandidates(work, 30, 4, 8, Options{})
+	exact := equalPartitionCandidates(work, 32, 4, 8, Options{})
+	if len(exact) != len(padded)+1 {
+		t.Errorf("padded portfolio has %d candidates, exact %d; spectral must only join the exact one",
+			len(padded), len(exact))
 	}
 }
