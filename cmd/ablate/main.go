@@ -15,9 +15,14 @@
 //	ablate -exp rack        # rack-tier fabric, three-level placement (A10)
 //	ablate -exp hetero      # heterogeneous pod-tier platform (A11)
 //	ablate -exp shift       # cross-fabric adaptive migration (A12)
+//	ablate -exp scale       # placement-latency benchmark tier (S1)
 //	ablate -full            # paper-scale matrix and iterations
 //
 // -exp also accepts a comma-separated list (-exp adaptive,cluster,shift).
+// The scale study is a benchmark tier, not an ablation: it reports the
+// wall-clock latency of the placement pipeline itself on datacenter-scale
+// grids (tasks × nodes set by -scale-tasks/-scale-nodes), so it is excluded
+// from "all" and must be selected by name.
 // With -json the results are emitted as one machine-readable JSON document
 // on stdout — per-ablation rows with simulated seconds and cycle counts,
 // plus the asserted orderings and their verdicts — and the exit status is
@@ -32,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiment"
@@ -39,20 +45,30 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, shift, all (a comma-separated list selects several)")
-		full  = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations, 192 cores; overrides -rows/-cols/-iters/-cores)")
-		jsonF = flag.Bool("json", false, "emit one machine-readable JSON report on stdout (rows, cycle counts, ordering verdicts); exit non-zero on any ordering violation")
-		seed  = flag.Int64("seed", 7, "simulated OS scheduler seed")
-		rows  = flag.Int("rows", 4096, "matrix rows (reduced scale)")
-		cols  = flag.Int("cols", 4096, "matrix columns (reduced scale)")
-		iters = flag.Int("iters", 10, "iterations (reduced scale)")
-		cores = flag.Int("cores", 48, "number of cores (reduced scale)")
+		exp        = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, shift, scale, all (a comma-separated list selects several; scale is excluded from all)")
+		full       = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations, 192 cores; overrides -rows/-cols/-iters/-cores)")
+		jsonF      = flag.Bool("json", false, "emit one machine-readable JSON report on stdout (rows, cycle counts, ordering verdicts); exit non-zero on any ordering violation")
+		seed       = flag.Int64("seed", 7, "simulated OS scheduler seed")
+		rows       = flag.Int("rows", 4096, "matrix rows (reduced scale)")
+		cols       = flag.Int("cols", 4096, "matrix columns (reduced scale)")
+		iters      = flag.Int("iters", 10, "iterations (reduced scale)")
+		cores      = flag.Int("cores", 48, "number of cores (reduced scale)")
+		scaleTasks = flag.String("scale-tasks", "", "comma-separated task counts for -exp scale (default 10000,100000)")
+		scaleNodes = flag.String("scale-nodes", "", "comma-separated cluster-node counts for -exp scale (default 100,1000,10000)")
 	)
 	flag.Parse()
 
 	cfg, err := buildConfig(*rows, *cols, *iters, *cores, *seed, *full)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
+		os.Exit(1)
+	}
+	if scaleOverrides.tasks, err = parseIntList(*scaleTasks); err != nil {
+		fmt.Fprintf(os.Stderr, "ablate: -scale-tasks: %v\n", err)
+		os.Exit(1)
+	}
+	if scaleOverrides.nodes, err = parseIntList(*scaleNodes); err != nil {
+		fmt.Fprintf(os.Stderr, "ablate: -scale-nodes: %v\n", err)
 		os.Exit(1)
 	}
 	if err := run(os.Stdout, cfg, *exp, *jsonF); err != nil {
@@ -97,13 +113,54 @@ func ablations() []ablation {
 	}
 }
 
+// scaleOverrides carries the -scale-tasks/-scale-nodes flag values to the
+// scale study; empty slices select the experiment.ScaleConfig defaults.
+var scaleOverrides struct{ tasks, nodes []int }
+
+// extraAblations returns the selectable-by-name studies excluded from "all":
+// the benchmark tiers, which measure real wall time rather than simulated
+// program time and would dominate a full ablation run.
+func extraAblations() []ablation {
+	return []ablation{
+		{"scale", "S1", "S1: placement latency at datacenter scale (wall time)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			sc := experiment.ScaleConfigFrom(c)
+			sc.Tasks = scaleOverrides.tasks
+			sc.Nodes = scaleOverrides.nodes
+			return experiment.AblationScale(sc)
+		}},
+	}
+}
+
+// parseIntList parses a comma-separated list of positive integers; an empty
+// string yields nil.
+func parseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("count %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // selectAblations resolves a -exp value ("all", one name, or a
-// comma-separated list) against the suite, preserving report order.
+// comma-separated list) against the suite, preserving report order. "all"
+// selects the twelve ablations; the benchmark tiers (extraAblations) only
+// run when named explicitly.
 func selectAblations(exp string) ([]ablation, error) {
 	all := ablations()
 	if exp == "all" {
 		return all, nil
 	}
+	all = append(all, extraAblations()...)
 	want := map[string]bool{}
 	for _, name := range strings.Split(exp, ",") {
 		name = strings.TrimSpace(name)
@@ -158,10 +215,11 @@ func run(w io.Writer, cfg experiment.Config, exp string, asJSON bool) error {
 		res := benchAblation{Exp: a.name, ID: a.id, Title: a.title}
 		for _, r := range rows {
 			res.Rows = append(res.Rows, benchRow{
-				Name:    r.Name,
-				Seconds: r.Seconds,
-				Cycles:  experiment.SimCycles(r.Seconds),
-				Detail:  r.Detail,
+				Name:        r.Name,
+				Seconds:     r.Seconds,
+				Cycles:      experiment.SimCycles(r.Seconds),
+				Detail:      r.Detail,
+				WallSeconds: r.WallSeconds,
 			})
 		}
 		for _, o := range experiment.AblationOrderings(a.name) {
@@ -207,12 +265,14 @@ type benchAblation struct {
 	Orderings []benchOrdering `json:"orderings,omitempty"`
 }
 
-// benchRow is one configuration's simulated cost.
+// benchRow is one configuration's simulated cost. Benchmark-tier rows carry
+// wall_seconds (real pipeline latency) instead of a simulated cost.
 type benchRow struct {
-	Name    string  `json:"name"`
-	Seconds float64 `json:"seconds"`
-	Cycles  float64 `json:"cycles"`
-	Detail  string  `json:"detail,omitempty"`
+	Name        string  `json:"name"`
+	Seconds     float64 `json:"seconds"`
+	Cycles      float64 `json:"cycles"`
+	Detail      string  `json:"detail,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
 }
 
 // benchOrdering is one asserted relation and whether it held.

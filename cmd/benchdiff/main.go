@@ -1,0 +1,128 @@
+// Command benchdiff gates wall-clock regressions between two bench
+// documents produced by cmd/ablate -json:
+//
+//	benchdiff -base BENCH_6.json -cur BENCH_new.json
+//	benchdiff -base BENCH_6.json -cur BENCH_new.json -factor 3
+//
+// Only rows carrying wall_seconds are compared (the benchmark tiers; the
+// simulated rows are deterministic and asserted by the orderings instead).
+// Every wall row of the baseline must still exist in the current document —
+// silently dropping a grid point is itself a failure — and must not exceed
+// factor × its baseline wall time (default 2, absorbing runner-to-runner
+// machine variance while still catching an optimization being backed out).
+// The comparison table is printed either way; the exit status is non-zero on
+// any regression or missing row. New rows in the current document pass
+// freely: they have no baseline yet.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+func main() {
+	var (
+		base   = flag.String("base", "", "baseline bench JSON (required)")
+		cur    = flag.String("cur", "", "current bench JSON (required)")
+		factor = flag.Float64("factor", 2, "allowed wall-time growth factor over the baseline")
+	)
+	flag.Parse()
+	if *base == "" || *cur == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -base and -cur are both required")
+		os.Exit(2)
+	}
+	if err := diff(os.Stdout, *base, *cur, *factor); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// benchReport mirrors the subset of the cmd/ablate -json schema benchdiff
+// consumes (see benchSchema there).
+type benchReport struct {
+	Schema    string `json:"schema"`
+	Ablations []struct {
+		Exp  string `json:"exp"`
+		Rows []struct {
+			Name        string  `json:"name"`
+			WallSeconds float64 `json:"wall_seconds"`
+		} `json:"rows"`
+	} `json:"ablations"`
+}
+
+const benchSchema = "repro-bench/1"
+
+func load(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, benchSchema)
+	}
+	walls := map[string]float64{}
+	for _, a := range rep.Ablations {
+		for _, r := range a.Rows {
+			if r.WallSeconds > 0 {
+				walls[a.Exp+"/"+r.Name] = r.WallSeconds
+			}
+		}
+	}
+	return walls, nil
+}
+
+// diff compares the wall rows of the two documents, printing the table to w
+// and returning an error describing every regression and missing row.
+func diff(w io.Writer, basePath, curPath string, factor float64) error {
+	if factor <= 0 {
+		return fmt.Errorf("factor %v must be positive", factor)
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return err
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("%s carries no wall_seconds rows to gate on", basePath)
+	}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var bad []string
+	for _, k := range keys {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			fmt.Fprintf(w, "  %-52s %9.3fs  MISSING\n", k, b)
+			bad = append(bad, fmt.Sprintf("%s: present in baseline, missing from current", k))
+			continue
+		}
+		verdict := "ok"
+		if c > b*factor {
+			verdict = fmt.Sprintf("REGRESSED (> x%g)", factor)
+			bad = append(bad, fmt.Sprintf("%s: %.3fs vs baseline %.3fs (x%.2f > x%g)", k, c, b, c/b, factor))
+		}
+		fmt.Fprintf(w, "  %-52s %9.3fs -> %9.3fs  x%-5.2f %s\n", k, b, c, c/b, verdict)
+	}
+	if len(bad) > 0 {
+		msg := bad[0]
+		for _, m := range bad[1:] {
+			msg += "; " + m
+		}
+		return fmt.Errorf("%d wall-time check(s) failed: %s", len(bad), msg)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseDoc = `{
+  "schema": "repro-bench/1",
+  "seed": 7,
+  "ablations": [
+    {"exp": "scale", "id": "S1", "title": "S1", "rows": [
+      {"name": "scale/stencil/10k-tasks/100-nodes", "seconds": 0, "cycles": 0, "wall_seconds": 1.0},
+      {"name": "scale/random/10k-tasks/100-nodes", "seconds": 0, "cycles": 0, "wall_seconds": 2.0}
+    ]},
+    {"exp": "shift", "id": "A12", "title": "A12", "rows": [
+      {"name": "phase/static", "seconds": 3.5, "cycles": 1e9}
+    ]}
+  ]
+}`
+
+func TestDiffPassesWithinFactor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseDoc)
+	cur := writeReport(t, dir, "cur.json", strings.NewReplacer(
+		`"wall_seconds": 1.0`, `"wall_seconds": 1.9`,
+		`"wall_seconds": 2.0`, `"wall_seconds": 0.5`,
+	).Replace(baseDoc))
+	var buf bytes.Buffer
+	if err := diff(&buf, base, cur, 2); err != nil {
+		t.Fatalf("within-factor run failed: %v\n%s", err, buf.String())
+	}
+	// Simulated rows (no wall_seconds) are not part of the gate.
+	if strings.Contains(buf.String(), "phase/static") {
+		t.Errorf("simulated row leaked into the wall-time table:\n%s", buf.String())
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseDoc)
+	cur := writeReport(t, dir, "cur.json",
+		strings.Replace(baseDoc, `"wall_seconds": 1.0`, `"wall_seconds": 2.5`, 1))
+	var buf bytes.Buffer
+	err := diff(&buf, base, cur, 2)
+	if err == nil {
+		t.Fatalf("2.5x regression passed a 2x gate:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "scale/scale/stencil/10k-tasks/100-nodes") {
+		t.Errorf("error does not name the regressed row: %v", err)
+	}
+}
+
+func TestDiffFailsOnMissingRow(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseDoc)
+	cur := writeReport(t, dir, "cur.json",
+		strings.Replace(baseDoc, `"wall_seconds": 2.0`, `"wall_seconds": 0`, 1))
+	var buf bytes.Buffer
+	err := diff(&buf, base, cur, 2)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("dropped row not reported: %v\n%s", err, buf.String())
+	}
+}
+
+func TestDiffRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", baseDoc)
+	wrongSchema := writeReport(t, dir, "schema.json",
+		strings.Replace(baseDoc, "repro-bench/1", "repro-bench/999", 1))
+	noWalls := writeReport(t, dir, "nowalls.json", `{
+  "schema": "repro-bench/1",
+  "ablations": [{"exp": "shift", "rows": [{"name": "phase/static", "seconds": 3.5}]}]
+}`)
+	var buf bytes.Buffer
+	if err := diff(&buf, base, wrongSchema, 2); err == nil {
+		t.Error("mismatched schema accepted")
+	}
+	if err := diff(&buf, noWalls, base, 2); err == nil {
+		t.Error("baseline without wall rows accepted")
+	}
+	if err := diff(&buf, base, base, 0); err == nil {
+		t.Error("non-positive factor accepted")
+	}
+	if err := diff(&buf, filepath.Join(dir, "absent.json"), base, 2); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}

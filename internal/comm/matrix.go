@@ -32,14 +32,18 @@ package comm
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Matrix is a square communication matrix. The zero value is unusable; use
-// New. Methods panic on out-of-range indices, mirroring slice semantics.
+// New (dense) or NewSparse. Methods panic on out-of-range indices, mirroring
+// slice semantics. Exactly one of v and rows is non-nil; see sparse.go for
+// the sparse mode and the bit-reproducibility contract shared by both.
 type Matrix struct {
 	n      int
-	v      []float64 // row-major, length n*n
-	labels []string  // optional entity names, length n when present
+	v      []float64   // dense mode: row-major, length n*n
+	rows   []sparseRow // sparse mode: per-row sorted adjacency, length n
+	labels []string    // optional entity names, length n when present
 }
 
 // New returns an order-n zero matrix.
@@ -53,18 +57,53 @@ func New(n int) *Matrix {
 // Order returns the number of computing entities (the matrix dimension).
 func (m *Matrix) Order() int { return m.n }
 
-// At returns the volume exchanged between entities i and j.
-func (m *Matrix) At(i, j int) float64 { return m.v[i*m.n+j] }
+// At returns the volume exchanged between entities i and j. In sparse mode
+// this is a binary search over row i's nonzeros; hot loops should prefer
+// ForEachNeighbor.
+func (m *Matrix) At(i, j int) float64 {
+	if m.rows != nil {
+		if i < 0 || i >= m.n || j < 0 || j >= m.n {
+			panic("comm: index out of range")
+		}
+		return m.rows[i].at(j)
+	}
+	return m.v[i*m.n+j]
+}
 
 // Set assigns the volume exchanged between entities i and j.
-func (m *Matrix) Set(i, j int, vol float64) { m.v[i*m.n+j] = vol }
+func (m *Matrix) Set(i, j int, vol float64) {
+	if m.rows != nil {
+		if i < 0 || i >= m.n || j < 0 || j >= m.n {
+			panic("comm: index out of range")
+		}
+		m.rows[i].set(j, vol)
+		return
+	}
+	m.v[i*m.n+j] = vol
+}
 
 // Add accumulates volume onto entry (i,j).
-func (m *Matrix) Add(i, j int, vol float64) { m.v[i*m.n+j] += vol }
+func (m *Matrix) Add(i, j int, vol float64) {
+	if m.rows != nil {
+		if i < 0 || i >= m.n || j < 0 || j >= m.n {
+			panic("comm: index out of range")
+		}
+		m.rows[i].add(j, vol)
+		return
+	}
+	m.v[i*m.n+j] += vol
+}
 
 // AddSym accumulates volume onto both (i,j) and (j,i), the natural operation
 // when recording one message of the given size between two entities.
 func (m *Matrix) AddSym(i, j int, vol float64) {
+	if m.rows != nil {
+		m.Add(i, j, vol)
+		if i != j {
+			m.Add(j, i, vol)
+		}
+		return
+	}
 	m.v[i*m.n+j] += vol
 	if i != j {
 		m.v[j*m.n+i] += vol
@@ -90,10 +129,18 @@ func (m *Matrix) SetLabel(i int, s string) {
 	m.labels[i] = s
 }
 
-// Clone returns a deep copy of the matrix.
+// Clone returns a deep copy of the matrix, preserving the storage mode.
 func (m *Matrix) Clone() *Matrix {
-	c := New(m.n)
-	copy(c.v, m.v)
+	var c *Matrix
+	if m.rows != nil {
+		c = NewSparse(m.n)
+		for i := range m.rows {
+			c.rows[i] = m.rows[i].clone()
+		}
+	} else {
+		c = New(m.n)
+		copy(c.v, m.v)
+	}
 	if m.labels != nil {
 		c.labels = append([]string(nil), m.labels...)
 	}
@@ -102,6 +149,20 @@ func (m *Matrix) Clone() *Matrix {
 
 // IsSymmetric reports whether the matrix equals its transpose exactly.
 func (m *Matrix) IsSymmetric() bool {
+	if m.rows != nil {
+		// Every stored entry must see its mirror; pairs with neither side
+		// stored are trivially 0 == 0.
+		for i := range m.rows {
+			r := &m.rows[i]
+			for p, c := range r.cols {
+				j := int(c)
+				if j != i && m.rows[j].at(i) != r.vals[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	for i := 0; i < m.n; i++ {
 		for j := i + 1; j < m.n; j++ {
 			if m.At(i, j) != m.At(j, i) {
@@ -115,6 +176,25 @@ func (m *Matrix) IsSymmetric() bool {
 // Symmetrize replaces the matrix with (M + Mᵀ)/2 in place and returns it.
 // TreeMatch assumes affinity is symmetric.
 func (m *Matrix) Symmetrize() *Matrix {
+	if m.rows != nil {
+		// Visit stored entries (snapshotting each row's columns first, since
+		// setting the mirror may grow other rows); pairs stored on either
+		// side get averaged, possibly twice — the second average of two
+		// equal values is exact, so the result is well-defined.
+		for i := range m.rows {
+			cols := append([]int32(nil), m.rows[i].cols...)
+			for _, c := range cols {
+				j := int(c)
+				if j == i {
+					continue
+				}
+				avg := (m.rows[i].at(j) + m.rows[j].at(i)) / 2
+				m.rows[i].set(j, avg)
+				m.rows[j].set(i, avg)
+			}
+		}
+		return m
+	}
 	for i := 0; i < m.n; i++ {
 		for j := i + 1; j < m.n; j++ {
 			avg := (m.At(i, j) + m.At(j, i)) / 2
@@ -126,15 +206,17 @@ func (m *Matrix) Symmetrize() *Matrix {
 }
 
 // TotalVolume returns the sum of all off-diagonal entries, i.e. twice the
-// total pairwise communication volume of a symmetric matrix.
+// total pairwise communication volume of a symmetric matrix. Both storage
+// modes accumulate the nonzero terms in the same (row-major) order, so the
+// result is bit-identical across them.
 func (m *Matrix) TotalVolume() float64 {
 	var s float64
 	for i := 0; i < m.n; i++ {
-		for j := 0; j < m.n; j++ {
-			if i != j {
-				s += m.At(i, j)
+		m.ForEachNeighbor(i, func(j int, v float64) {
+			if j != i {
+				s += v
 			}
-		}
+		})
 	}
 	return s
 }
@@ -143,11 +225,11 @@ func (m *Matrix) TotalVolume() float64 {
 // i exchanges with everyone else (in its outgoing direction).
 func (m *Matrix) RowVolume(i int) float64 {
 	var s float64
-	for j := 0; j < m.n; j++ {
+	m.ForEachNeighbor(i, func(j int, v float64) {
 		if j != i {
-			s += m.At(i, j)
+			s += v
 		}
-	}
+	})
 	return s
 }
 
@@ -174,6 +256,33 @@ func (m *Matrix) Aggregate(groups [][]int) (*Matrix, error) {
 			return nil, fmt.Errorf("comm: aggregate: entity %d not covered by any group", e)
 		}
 	}
+	if m.rows != nil {
+		sorted := true
+		for _, g := range groups {
+			if !rowSorted(g) {
+				sorted = false
+				break
+			}
+		}
+		if sorted {
+			return m.aggregateSparse(groups), nil
+		}
+		// Unsorted groups (no in-repo caller): per-cell accumulation in the
+		// dense nested-loop order, sparse output.
+		agg := NewSparse(len(groups))
+		for a, ga := range groups {
+			for b, gb := range groups {
+				var s float64
+				for _, i := range ga {
+					for _, j := range gb {
+						s += m.At(i, j)
+					}
+				}
+				agg.Set(a, b, s)
+			}
+		}
+		return agg, nil
+	}
 	agg := New(len(groups))
 	for a, ga := range groups {
 		for b, gb := range groups {
@@ -197,9 +306,17 @@ func (m *Matrix) ExtendZero(order int) (*Matrix, error) {
 	if order < m.n {
 		return nil, fmt.Errorf("comm: cannot extend order %d down to %d", m.n, order)
 	}
-	e := New(order)
-	for i := 0; i < m.n; i++ {
-		copy(e.v[i*order:i*order+m.n], m.v[i*m.n:(i+1)*m.n])
+	var e *Matrix
+	if m.rows != nil {
+		e = NewSparse(order)
+		for i := range m.rows {
+			e.rows[i] = m.rows[i].clone()
+		}
+	} else {
+		e = New(order)
+		for i := 0; i < m.n; i++ {
+			copy(e.v[i*order:i*order+m.n], m.v[i*m.n:(i+1)*m.n])
+		}
 	}
 	if m.labels != nil || order > m.n {
 		e.labels = make([]string, order)
@@ -231,10 +348,35 @@ func (m *Matrix) Submatrix(ids []int) (*Matrix, error) {
 		}
 		seen[e] = true
 	}
-	s := New(len(ids))
-	for a, i := range ids {
+	var s *Matrix
+	if m.rows != nil {
+		s = NewSparse(len(ids))
+		newPos := make([]int32, m.n)
+		for i := range newPos {
+			newPos[i] = -1
+		}
 		for b, j := range ids {
-			s.Set(a, b, m.At(i, j))
+			newPos[j] = int32(b)
+		}
+		for a, i := range ids {
+			r := &m.rows[i]
+			var cols []int32
+			var vals []float64
+			for p, c := range r.cols {
+				if b := newPos[c]; b >= 0 {
+					cols = append(cols, b)
+					vals = append(vals, r.vals[p])
+				}
+			}
+			sort.Sort(&colValSorter{cols, vals})
+			s.rows[a] = sparseRow{cols: cols, vals: vals}
+		}
+	} else {
+		s = New(len(ids))
+		for a, i := range ids {
+			for b, j := range ids {
+				s.Set(a, b, m.At(i, j))
+			}
 		}
 	}
 	if m.labels != nil {
@@ -245,9 +387,21 @@ func (m *Matrix) Submatrix(ids []int) (*Matrix, error) {
 	return s, nil
 }
 
-// MaxEntry returns the largest entry of the matrix (0 for an empty matrix).
+// MaxEntry returns the largest entry of the matrix (0 for an empty matrix;
+// in sparse mode absent entries count as 0, so the result is never negative
+// for matrices with free slots).
 func (m *Matrix) MaxEntry() float64 {
 	var mx float64
+	if m.rows != nil {
+		for i := range m.rows {
+			for _, x := range m.rows[i].vals {
+				if x > mx {
+					mx = x
+				}
+			}
+		}
+		return mx
+	}
 	for _, x := range m.v {
 		if x > mx {
 			mx = x
@@ -256,8 +410,19 @@ func (m *Matrix) MaxEntry() float64 {
 	return mx
 }
 
-// Scale multiplies every entry by f in place and returns the matrix.
+// Scale multiplies every entry by f in place and returns the matrix. In
+// sparse mode only stored entries are scaled (absent zeros stay zero, so a
+// non-finite f does not materialize NaNs the dense mode would produce).
 func (m *Matrix) Scale(f float64) *Matrix {
+	if m.rows != nil {
+		for i := range m.rows {
+			vals := m.rows[i].vals
+			for p := range vals {
+				vals[p] *= f
+			}
+		}
+		return m
+	}
 	for i := range m.v {
 		m.v[i] *= f
 	}
@@ -265,14 +430,25 @@ func (m *Matrix) Scale(f float64) *Matrix {
 }
 
 // Equal reports whether two matrices have the same order and entries within
-// the given absolute tolerance.
+// the given absolute tolerance. Matrices of different storage modes compare
+// by value (at O(n²) cost via At).
 func (m *Matrix) Equal(o *Matrix, tol float64) bool {
 	if m.n != o.n {
 		return false
 	}
-	for i := range m.v {
-		if math.Abs(m.v[i]-o.v[i]) > tol {
-			return false
+	if m.rows == nil && o.rows == nil {
+		for i := range m.v {
+			if math.Abs(m.v[i]-o.v[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if math.Abs(m.At(i, j)-o.At(i, j)) > tol {
+				return false
+			}
 		}
 	}
 	return true

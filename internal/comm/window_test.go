@@ -57,6 +57,45 @@ func TestWindowRollBadDecayResets(t *testing.T) {
 	}
 }
 
+func TestWindowRollInPlace(t *testing.T) {
+	w := NewWindow(3)
+	before := &w.cur.v[0]
+	w.AddSym(0, 1, 10)
+	snap := w.Roll(0)
+	if &w.cur.v[0] != before {
+		t.Error("Roll(0) reallocated the window's backing storage")
+	}
+	w.AddSym(0, 2, 3)
+	w.Roll(0.5)
+	if &w.cur.v[0] != before {
+		t.Error("Roll(decay) reallocated the window's backing storage")
+	}
+	// Recycled snapshots are reused for the next snapshot.
+	spineBefore := &snap.v[0]
+	w.Recycle(snap)
+	w.AddSym(1, 2, 9)
+	snap2 := w.Roll(0)
+	if &snap2.v[0] != spineBefore {
+		t.Error("Roll did not reuse the recycled snapshot's storage")
+	}
+	if got := snap2.At(1, 2); got != 9 {
+		t.Errorf("recycled snapshot (1,2) = %v, want 9", got)
+	}
+	if got := snap2.At(0, 1); got != 0 {
+		t.Errorf("recycled snapshot kept stale volume (0,1) = %v", got)
+	}
+}
+
+func TestWindowRecycleWrongShapeIgnored(t *testing.T) {
+	w := NewWindow(3)
+	w.Recycle(New(5)) // wrong order: must not be used
+	w.AddSym(0, 1, 2)
+	snap := w.Roll(0)
+	if snap.Order() != 3 || snap.At(0, 1) != 2 {
+		t.Errorf("snapshot corrupted by mismatched recycle: order %d", snap.Order())
+	}
+}
+
 func TestWindowConcurrentAdd(t *testing.T) {
 	w := NewWindow(4)
 	var wg sync.WaitGroup

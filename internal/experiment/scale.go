@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/numasim"
+	"repro/internal/placement"
+)
+
+// The scale study (S1) is a benchmark tier, not an ablation: instead of
+// simulated program time it measures the wall-clock latency of the placement
+// pipeline itself — sparse matrix generation excluded, everything from the
+// node-level partition to the per-node Algorithm 1 included — on
+// datacenter-scale inputs. It exists to keep the optimizations honest: the
+// sparse representation, the multilevel coarsening driver, the cached fabric
+// tables and the sharded per-node stage all claim to make 10⁵ tasks on 10³+
+// nodes tractable, and this grid is where that claim is priced.
+
+// ScaleConfig parameterizes the placement-latency grid.
+type ScaleConfig struct {
+	// Tasks lists the task counts of the grid (default 10_000 and 100_000).
+	Tasks []int
+	// Nodes lists the cluster-node counts (default 100, 1_000 and 10_000).
+	// Grid points with fewer tasks than nodes are skipped.
+	Nodes []int
+	// CoresPerNode shapes each (homogeneous, single-socket) node; default 8.
+	CoresPerNode int
+	// Seed drives the random-sparse pattern.
+	Seed int64
+	// Workers bounds the per-node mapping pool (0 means GOMAXPROCS).
+	Workers int
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if len(c.Tasks) == 0 {
+		c.Tasks = []int{10_000, 100_000}
+	}
+	if len(c.Nodes) == 0 {
+		c.Nodes = []int{100, 1_000, 10_000}
+	}
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = 8
+	}
+	return c
+}
+
+// ScaleConfigFrom derives the benchmark grid from the shared ablation
+// configuration. Only the seed carries over: the grid's whole point is its
+// own task and node scales.
+func ScaleConfigFrom(cfg Config) ScaleConfig {
+	return ScaleConfig{Seed: cfg.withDefaults().Seed}
+}
+
+// scalePatterns are the two communication shapes of the grid: the
+// best-case-sparse 9-point stencil (bounded degree, strong locality) and a
+// degree-8 random graph (no locality to exploit, the partitioner's
+// worst case at equal sparsity).
+var scalePatterns = []struct {
+	name string
+	gen  func(tasks int, seed int64) *comm.Matrix
+}{
+	{"stencil", func(tasks int, _ int64) *comm.Matrix {
+		bx, by := stencilDims(tasks)
+		return comm.Stencil2DSparse(bx, by, 64, 8)
+	}},
+	{"random", func(tasks int, seed int64) *comm.Matrix {
+		return comm.RandomSparse(tasks, 8, 100, seed)
+	}},
+}
+
+// stencilDims factors a task count into the most square bx×by grid with
+// bx·by == tasks exactly (bx the largest divisor not above √tasks).
+func stencilDims(tasks int) (bx, by int) {
+	bx = 1
+	for d := 2; d*d <= tasks; d++ {
+		if tasks%d == 0 {
+			bx = d
+		}
+	}
+	return bx, tasks / bx
+}
+
+// scaleName renders one grid point, e.g. "scale/stencil/100k-tasks/1000-nodes".
+func scaleName(pattern string, tasks, nodes int) string {
+	t := fmt.Sprintf("%d", tasks)
+	if tasks%1000 == 0 {
+		t = fmt.Sprintf("%dk", tasks/1000)
+	}
+	return fmt.Sprintf("scale/%s/%s-tasks/%d-nodes", pattern, t, nodes)
+}
+
+// AblationScale (S1) runs the placement-latency grid: for every node count a
+// flat homogeneous platform is built once, then every (pattern, task count)
+// pair is placed end to end with the hierarchical policy and the wall time
+// recorded in WallSeconds (Seconds stays zero — nothing is simulated).
+func AblationScale(cfg ScaleConfig) ([]AblationRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []AblationRow
+	for _, nodes := range cfg.Nodes {
+		spec := fmt.Sprintf("cluster:%d pack:1 core:%d", nodes, cfg.CoresPerNode)
+		plat, err := numasim.NewPlatform(spec, numasim.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("scale: %d nodes: %w", nodes, err)
+		}
+		for _, tasks := range cfg.Tasks {
+			if tasks < nodes {
+				continue
+			}
+			for _, pat := range scalePatterns {
+				m := pat.gen(tasks, cfg.Seed)
+				pol := placement.Hierarchical{Workers: cfg.Workers}
+				start := time.Now()
+				a, err := pol.Assign(plat.Machine(), m)
+				wall := time.Since(start).Seconds()
+				if err != nil {
+					return nil, fmt.Errorf("scale: %s: %w", scaleName(pat.name, tasks, nodes), err)
+				}
+				if len(a.TaskPU) != m.Order() {
+					return nil, fmt.Errorf("scale: %s: placed %d of %d tasks",
+						scaleName(pat.name, tasks, nodes), len(a.TaskPU), m.Order())
+				}
+				rows = append(rows, AblationRow{
+					Name:        scaleName(pat.name, tasks, nodes),
+					WallSeconds: wall,
+					Detail:      fmt.Sprintf("%d nnz", m.NNZ()),
+				})
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStencilDims(t *testing.T) {
+	cases := []struct{ tasks, bx, by int }{
+		{10_000, 100, 100},
+		{100_000, 250, 400},
+		{200, 10, 20},
+		{7, 1, 7},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		bx, by := stencilDims(c.tasks)
+		if bx != c.bx || by != c.by {
+			t.Errorf("stencilDims(%d) = (%d,%d), want (%d,%d)", c.tasks, bx, by, c.bx, c.by)
+		}
+		if bx*by != c.tasks || bx > by {
+			t.Errorf("stencilDims(%d) = (%d,%d) is not a square-ish factorization", c.tasks, bx, by)
+		}
+	}
+}
+
+// TestAblationScaleSmallGrid drives the benchmark tier end to end on a tiny
+// grid: one row per (pattern, tasks, nodes) point with tasks ≥ nodes, wall
+// time measured, nothing simulated.
+func TestAblationScaleSmallGrid(t *testing.T) {
+	rows, err := AblationScale(ScaleConfig{
+		Tasks:        []int{200},
+		Nodes:        []int{4, 10, 400}, // 400 > 200 tasks: skipped
+		CoresPerNode: 2,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 (2 patterns × 2 admissible node counts): %+v", len(rows), rows)
+	}
+	wantNames := []string{
+		"scale/stencil/200-tasks/4-nodes",
+		"scale/random/200-tasks/4-nodes",
+		"scale/stencil/200-tasks/10-nodes",
+		"scale/random/200-tasks/10-nodes",
+	}
+	for i, r := range rows {
+		if r.Name != wantNames[i] {
+			t.Errorf("row %d named %q, want %q", i, r.Name, wantNames[i])
+		}
+		if r.WallSeconds <= 0 {
+			t.Errorf("row %s has no wall time: %+v", r.Name, r)
+		}
+		if r.Seconds != 0 {
+			t.Errorf("row %s claims simulated seconds %v; benchmark rows must not", r.Name, r.Seconds)
+		}
+		if !strings.Contains(r.Detail, "nnz") {
+			t.Errorf("row %s detail %q misses the nnz count", r.Name, r.Detail)
+		}
+	}
+	// Benchmark rows render with their wall time, not a speedup column.
+	out := FormatAblation("S1", rows)
+	if !strings.Contains(out, "s wall") {
+		t.Errorf("FormatAblation does not render wall rows:\n%s", out)
+	}
+}
+
+func TestScaleConfigFromCarriesSeed(t *testing.T) {
+	sc := ScaleConfigFrom(Config{Rows: 1024, Cols: 1024, Iters: 1, Cores: 16, Seed: 99})
+	if sc.Seed != 99 {
+		t.Errorf("seed %d, want 99", sc.Seed)
+	}
+	sc = sc.withDefaults()
+	if len(sc.Tasks) != 2 || len(sc.Nodes) != 3 || sc.CoresPerNode != 8 {
+		t.Errorf("defaults not applied: %+v", sc)
+	}
+}

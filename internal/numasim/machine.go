@@ -137,6 +137,19 @@ type Machine struct {
 	// hop path includes both endpoint links of every level where their
 	// group indices differ.
 	fabricGroupOf [][]int
+	// fabricLinkLat[l][g] and fabricLinkBW[l][g] are the latency and
+	// bandwidth attributes of link g at fabric level l, flattened out of the
+	// topology objects once at construction so the per-transfer pricing paths
+	// never chase object pointers.
+	fabricLinkLat [][]float64
+	fabricLinkBW  [][]float64
+	// fabricCumLat[c][d] is the cached fabric distance table: the summed
+	// latency of cluster node c's own-side links over fabric levels < d.
+	// Since the hop path between two nodes diverging at level d traverses
+	// both endpoint links of every level below d, its total latency is
+	// fabricCumLat[from][d] + fabricCumLat[to][d] — two lookups instead of a
+	// tree walk. Built once per topology in New.
+	fabricCumLat [][]float64
 	// l3Share[pu] is the slice of the innermost shared cache a PU can count
 	// on, in bytes (cache size / PUs sharing it).
 	l3Share []int64
@@ -222,6 +235,28 @@ func New(topo *topology.Topology, cfg Config) (*Machine, error) {
 			for c, node := range topo.ClusterNodes() {
 				m.fabricGroupOf[l][c] = node.Ancestor(kind).LevelIndex
 			}
+		}
+		// Flatten the link attributes and build the per-node cumulative
+		// latency prefixes that turn the hop-path walk into table lookups.
+		m.fabricLinkLat = make([][]float64, len(levels))
+		m.fabricLinkBW = make([][]float64, len(levels))
+		for l, lv := range levels {
+			lat := make([]float64, len(lv))
+			bw := make([]float64, len(lv))
+			for g, link := range lv {
+				lat[g] = link.Attr.LatencyCycles
+				bw[g] = link.Attr.BandwidthBytesPerSec
+			}
+			m.fabricLinkLat[l] = lat
+			m.fabricLinkBW[l] = bw
+		}
+		m.fabricCumLat = make([][]float64, len(topo.ClusterNodes()))
+		for c := range m.fabricCumLat {
+			cum := make([]float64, len(levels)+1)
+			for l := range levels {
+				cum[l+1] = cum[l] + m.fabricLinkLat[l][m.fabricGroupOf[l][c]]
+			}
+			m.fabricCumLat[c] = cum
 		}
 	}
 	for i := range m.accessors {
@@ -492,15 +527,44 @@ func (m *Machine) SameRack(fromC, toC int) bool {
 	return len(m.fabricGroupOf) < 2 || m.fabricGroupOf[1][fromC] == m.fabricGroupOf[1][toC]
 }
 
-// fabricLatencyCycles accumulates the per-link latency of the actual hop
-// path between two distinct cluster nodes, walking the fabric tree from the
-// NICs outward: at every level where the nodes' groups differ, the message
-// traverses both endpoint links of that level (node → ToR and ToR → node;
-// across racks additionally ToR → spine and spine → ToR; across pods the
-// pod uplinks on top). On a single-switch fabric this is the familiar
-// two-link price. The walk stops at the first level the endpoints share,
-// because group containment is hierarchical.
+// fabricDivergence returns the first fabric level at which two cluster
+// nodes share a group — the level their hop path turns around at. Group
+// containment is hierarchical, so every level below it contributes both
+// endpoint links to the path, and no level above it contributes any.
+// Returns len(fabricLevels) if the nodes share no fabric group at all.
+func (m *Machine) fabricDivergence(fromC, toC int) int {
+	for l := range m.fabricLevels {
+		if m.fabricGroupOf[l][fromC] == m.fabricGroupOf[l][toC] {
+			return l
+		}
+	}
+	return len(m.fabricLevels)
+}
+
+// fabricLatencyCycles prices the latency of the hop path between two
+// distinct cluster nodes: at every level where the nodes' groups differ, the
+// message traverses both endpoint links of that level (node → ToR and
+// ToR → node; across racks additionally ToR → spine and spine → ToR; across
+// pods the pod uplinks on top). On a single-switch fabric this is the
+// familiar two-link price. The per-level sums are precomputed in the
+// fabricCumLat distance table, so the price is two lookups at the
+// divergence level instead of a walk over the fabric tree.
 func (m *Machine) fabricLatencyCycles(fromC, toC int) float64 {
+	cf, ct := m.fabricCumLat[fromC], m.fabricCumLat[toC]
+	for l := range m.fabricLevels {
+		if m.fabricGroupOf[l][fromC] == m.fabricGroupOf[l][toC] {
+			return cf[l] + ct[l]
+		}
+	}
+	d := len(m.fabricLevels)
+	return cf[d] + ct[d]
+}
+
+// fabricLatencyCyclesWalk is the reference implementation of
+// fabricLatencyCycles: it re-walks the fabric tree per call, reading the
+// link attributes off the topology objects. Kept (unexported) for the
+// cache-equality test and the cached-vs-walked benchmark.
+func (m *Machine) fabricLatencyCyclesWalk(fromC, toC int) float64 {
 	var lat float64
 	for l, links := range m.fabricLevels {
 		gf, gt := m.fabricGroupOf[l][fromC], m.fabricGroupOf[l][toC]
@@ -521,7 +585,26 @@ func (m *Machine) fabricLatencyCycles(fromC, toC int) float64 {
 // the machine lock it already holds, so the hot path takes the lock once.
 // The path includes, at every fabric level where the endpoints' groups
 // differ, both endpoint links of that level.
+// The link bandwidths come from the flattened fabricLinkBW table; only the
+// stream counts vary per call.
 func (m *Machine) fabricBandwidth(fromC, toC int, streams [][]int, global int) float64 {
+	bw := math.Inf(1)
+	d := m.fabricDivergence(fromC, toC)
+	for l := 0; l < d; l++ {
+		gf, gt := m.fabricGroupOf[l][fromC], m.fabricGroupOf[l][toC]
+		for _, g := range [2]int{gf, gt} {
+			if b := shareLink(m.fabricLinkBW[l][g], levelLinkStreams(streams, l, g, global)); b < bw {
+				bw = b
+			}
+		}
+	}
+	return bw
+}
+
+// fabricBandwidthWalk is the reference implementation of fabricBandwidth,
+// reading the link attributes off the topology objects per call. Kept
+// (unexported) for the cache-equality test.
+func (m *Machine) fabricBandwidthWalk(fromC, toC int, streams [][]int, global int) float64 {
 	bw := math.Inf(1)
 	for l, links := range m.fabricLevels {
 		gf, gt := m.fabricGroupOf[l][fromC], m.fabricGroupOf[l][toC]

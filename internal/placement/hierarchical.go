@@ -3,6 +3,8 @@ package placement
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/comm"
 	"repro/internal/numasim"
@@ -54,6 +56,14 @@ type Hierarchical struct {
 	// heterogeneous platform the small nodes oversubscribe and the large
 	// ones idle.
 	CapacityBlind bool
+	// Workers bounds the worker pool that runs the per-node Algorithm 1
+	// stage: the per-node mappings are independent (each works on its own
+	// sub-matrix against the shared read-only task matrix), so on a
+	// 1000-node placement they shard across CPUs. 0 means GOMAXPROCS;
+	// 1 forces the historical sequential order. Results are merged in
+	// group order regardless, so the assignment is identical at any
+	// worker count.
+	Workers int
 }
 
 // Name implements Policy.
@@ -159,22 +169,75 @@ func (p Hierarchical) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment
 			ways[i] = 1
 		}
 	}
+	// Bottom level: the ordinary Algorithm 1 on each node's sub-matrix and
+	// intra-machine tree, including the control-thread adaptation. The
+	// per-node instances are independent, so they run across a bounded
+	// worker pool; results land in a per-group slot and are merged in group
+	// order below, which keeps the assignment bit-identical to a sequential
+	// run at any worker count.
+	type nodeMapResult struct {
+		res *treematch.Result
+		err error
+	}
+	results := make([]nodeMapResult, len(groups))
+	jobs := make([]int, 0, len(groups))
+	for g, group := range groups {
+		if len(group) > 0 {
+			jobs = append(jobs, g)
+		}
+	}
+	runNode := func(g int) nodeMapResult {
+		node := nodeOf[g]
+		sub, err := m.Submatrix(groups[g])
+		if err != nil {
+			return nodeMapResult{err: err}
+		}
+		res, err := treematch.Map(treematch.Target{Tree: nodeTrees[node], SMTWays: ways[node]}, sub, opts)
+		if err != nil {
+			return nodeMapResult{err: fmt.Errorf("placement: hierarchical node %d: %w", node, err)}
+		}
+		return nodeMapResult{res: res}
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, g := range jobs {
+			results[g] = runNode(g)
+		}
+	} else {
+		feed := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for g := range feed {
+					results[g] = runNode(g)
+				}
+			}()
+		}
+		for _, g := range jobs {
+			feed <- g
+		}
+		close(feed)
+		wg.Wait()
+	}
+
 	nonEmpty := 0
 	for g, group := range groups {
 		if len(group) == 0 {
 			continue
 		}
 		node := nodeOf[g]
-		// Bottom level: the ordinary Algorithm 1 on this node's sub-matrix
-		// and intra-machine tree, including the control-thread adaptation.
-		sub, err := m.Submatrix(group)
-		if err != nil {
-			return nil, err
+		if results[g].err != nil {
+			return nil, results[g].err
 		}
-		res, err := treematch.Map(treematch.Target{Tree: nodeTrees[node], SMTWays: ways[node]}, sub, opts)
-		if err != nil {
-			return nil, fmt.Errorf("placement: hierarchical node %d: %w", node, err)
-		}
+		res := results[g].res
 		for local, task := range group {
 			core := coreBase[node] + res.Assignment[local]
 			a.TaskPU[task] = firstPU(topo, core)

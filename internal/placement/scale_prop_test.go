@@ -1,0 +1,137 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/numasim"
+)
+
+// Property-based placement invariants for the datacenter-scale path: every
+// task is placed exactly once on a real PU of the platform, no node receives
+// more than its capacity-proportional share, and neither the storage mode of
+// the matrix nor the worker-pool width changes the assignment.
+
+// placementCases pairs platforms with task matrices, spanning flat and
+// racked fabrics, homogeneous and heterogeneous nodes, dense and sparse
+// inputs, with and without oversubscription.
+func placementCases(t *testing.T) []struct {
+	name  string
+	spec  string
+	m     *comm.Matrix
+	nodes int
+	caps  []int
+} {
+	t.Helper()
+	return []struct {
+		name  string
+		spec  string
+		m     *comm.Matrix
+		nodes int
+		caps  []int
+	}{
+		{"flat4-stencil", "cluster:4 pack:1 core:4", comm.Stencil2D(4, 4, 64, 8), 4, []int{4, 4, 4, 4}},
+		{"flat4-oversub", "cluster:4 pack:1 core:2", comm.Stencil2D(6, 6, 64, 8), 4, []int{2, 2, 2, 2}},
+		{"rack2-stencil", "rack:2 node:2 pack:1 core:4", comm.Stencil2D(4, 4, 64, 8), 4, []int{4, 4, 4, 4}},
+		{"hetero-random", "node:{pack:1 core:4 | pack:1 core:2 | pack:1 core:4 | pack:1 core:2}",
+			comm.Random(24, 0.2, 100, 5), 4, []int{4, 2, 4, 2}},
+		{"flat8-sparse-big", "cluster:8 pack:1 core:4", comm.Stencil2DSparse(16, 16, 64, 8), 8,
+			[]int{4, 4, 4, 4, 4, 4, 4, 4}},
+	}
+}
+
+func TestHierarchicalPlacementInvariants(t *testing.T) {
+	for _, tc := range placementCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			plat, err := numasim.NewPlatform(tc.spec, numasim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach := plat.Machine()
+			topo := mach.Topology()
+			a, err := Hierarchical{}.Assign(mach, tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := tc.m.Order()
+			if len(a.TaskPU) != p {
+				t.Fatalf("placed %d tasks, want %d", len(a.TaskPU), p)
+			}
+			// Exactly once on a real PU: TaskPU has one entry per task and
+			// every entry names an in-range PU.
+			perNode := make([]int, tc.nodes)
+			for task, pu := range a.TaskPU {
+				if pu < 0 || pu >= topo.NumPUs() {
+					t.Fatalf("task %d on PU %d, out of range [0,%d)", task, pu, topo.NumPUs())
+				}
+				obj := topo.PUs()[pu]
+				node := topo.ClusterNodeOf(obj)
+				if node == nil {
+					t.Fatalf("task %d: PU %d has no cluster node", task, pu)
+				}
+				perNode[node.LevelIndex]++
+			}
+			// Capacity: each node's task count stays within its
+			// capacity-proportional share (largest-remainder apportionment
+			// rounds up by at most one).
+			total := 0
+			for _, c := range tc.caps {
+				total += c
+			}
+			for n, got := range perNode {
+				share := p*tc.caps[n]/total + 1
+				if got > share {
+					t.Errorf("node %d holds %d tasks, capacity share is %d", n, got, share)
+				}
+			}
+		})
+	}
+}
+
+func TestHierarchicalSparseDenseAssignmentsEqual(t *testing.T) {
+	for _, tc := range placementCases(t) {
+		if tc.m.IsSparse() || tc.m.Order() > 256 {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			plat, err := numasim.NewPlatform(tc.spec, numasim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense, err := Hierarchical{}.Assign(plat.Machine(), tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse, err := Hierarchical{}.Assign(plat.Machine(), tc.m.ToSparse())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(dense, sparse) {
+				t.Errorf("sparse-matrix assignment differs from dense")
+			}
+		})
+	}
+}
+
+func TestHierarchicalWorkerCountInvariant(t *testing.T) {
+	for _, tc := range placementCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			plat, err := numasim.NewPlatform(tc.spec, numasim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := Hierarchical{Workers: 1}.Assign(plat.Machine(), tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Hierarchical{Workers: 8}.Assign(plat.Machine(), tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("assignment depends on worker count")
+			}
+		})
+	}
+}

@@ -55,16 +55,23 @@ func (t *Topology) LatencyCycles(from, to *Object) float64 {
 
 // LatencyMatrix returns the PU-to-PU latency matrix in cycles, built with
 // LatencyCycles. Entry (i,i) is the L1 latency of PU i.
+//
+// The matrix is memoized: the topology is immutable, so it is computed on
+// first call and every call returns the same backing slices. Callers must
+// treat the result as read-only; copy it before modifying.
 func (t *Topology) LatencyMatrix() [][]float64 {
-	n := t.NumPUs()
-	m := make([][]float64, n)
-	for i := range m {
-		m[i] = make([]float64, n)
-		for j := range m[i] {
-			m[i][j] = t.LatencyCycles(t.pus[i], t.pus[j])
+	t.latOnce.Do(func() {
+		n := t.NumPUs()
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+			for j := range m[i] {
+				m[i][j] = t.LatencyCycles(t.pus[i], t.pus[j])
+			}
 		}
-	}
-	return m
+		t.latMatrix = m
+	})
+	return t.latMatrix
 }
 
 // NUMADistanceMatrix returns the node-to-node distance matrix in the style

@@ -148,3 +148,20 @@ func TestBandwidth(t *testing.T) {
 		t.Errorf("nil PU bandwidth = %v, want 0", got)
 	}
 }
+
+func TestLatencyMatrixMemoized(t *testing.T) {
+	top := PaperMachine()
+	first := top.LatencyMatrix()
+	second := top.LatencyMatrix()
+	if &first[0][0] != &second[0][0] {
+		t.Error("LatencyMatrix rebuilt on second call; want memoized backing slices")
+	}
+	// The memoized matrix must hold exactly the values LatencyCycles gives.
+	for i := range first {
+		for j := range first[i] {
+			if want := top.LatencyCycles(top.PU(i), top.PU(j)); first[i][j] != want {
+				t.Fatalf("entry (%d,%d) = %v, want %v", i, j, first[i][j], want)
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ package topology
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Kind identifies the hardware class of an object in the topology tree.
@@ -167,6 +168,12 @@ type Topology struct {
 	racks    []*Object
 	pods     []*Object
 	spec     string // the normalized spec the topology was built from
+
+	// latOnce/latMatrix memoize LatencyMatrix: the topology tree is
+	// immutable after construction, so the O(PUs²) matrix is built at most
+	// once and shared between callers.
+	latOnce   sync.Once
+	latMatrix [][]float64
 }
 
 // Root returns the Machine object at the root of the tree.

@@ -1,6 +1,7 @@
 package treematch
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 	"sync"
@@ -125,7 +126,17 @@ func PartitionAcross(m *comm.Matrix, k int, opt Options) ([][]int, error) {
 			return nil, err
 		}
 	}
-	best, err := pickPartition(evalPartitionCandidates(work, equalPartitionCandidates(work, p, k, per, opt), true))
+	var best [][]int
+	var err error
+	if work.Order() > multilevelMinOrder {
+		// The portfolio (greedy fill, full KL, spectral iteration) is
+		// superlinear in the order; above the threshold the multilevel
+		// coarsening driver takes over. Below it nothing changes, keeping
+		// every pre-existing shape bit-identical.
+		best, err = multilevelPartition(work, k, per, opt)
+	} else {
+		best, err = pickPartition(evalPartitionCandidates(work, equalPartitionCandidates(work, p, k, per, opt), true))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +268,19 @@ func PartitionAcrossWeighted(m *comm.Matrix, caps []int, opt Options) ([][]int, 
 	}
 	sizes := weightedSizes(p, caps)
 	passes := opt.refinePasses(0)
+	if p > multilevelMinOrder {
+		// Large instance: greedy seeding (heap-driven on sparse matrices)
+		// plus boundary-only refinement; the full-KL portfolio below is
+		// unaffordable at this order.
+		groups := greedySizedGroups(m, sizes)
+		if passes > 0 && k > 1 {
+			refineGroupsBoundary(m, groups, passes)
+		}
+		for _, g := range groups {
+			sort.Ints(g)
+		}
+		return groups, nil
+	}
 	refine := func(groups [][]int) [][]int {
 		if passes > 0 && k > 1 {
 			refineGroups(m, groups, passes)
@@ -333,21 +357,40 @@ func weightedSizes(p int, caps []int) []int {
 // with the heaviest-communicating ungrouped entity and filled by strongest
 // affinity to the group so far. The returned slice is positional: result[g]
 // has exactly sizes[g] members.
+//
+// Two implementations produce bit-identical groups: a heap-driven one that
+// only touches the neighbors of added members (O(nnz·log n), the one sparse
+// matrices need — the historical full-scan fill is O(p²) per group and
+// unusable at 100k tasks), and the full-scan one, kept for matrices the heap
+// argument does not cover (asymmetric or negative affinity).
 func greedySizedGroups(m *comm.Matrix, sizes []int) [][]int {
-	p := m.Order()
-	vol := make([]float64, p)
-	seedOrder := make([]int, p)
-	for i := range seedOrder {
-		seedOrder[i] = i
-		vol[i] = m.RowVolume(i)
+	if m.IsSparse() && symmetricNonNegative(m) {
+		return greedySizedGroupsHeap(m, sizes)
 	}
-	sort.SliceStable(seedOrder, func(x, y int) bool { return vol[seedOrder[x]] > vol[seedOrder[y]] })
+	return greedySizedGroupsScan(m, sizes)
+}
 
-	buildOrder := make([]int, len(sizes))
-	for i := range buildOrder {
-		buildOrder[i] = i
+// symmetricNonNegative reports whether the matrix is exactly symmetric with
+// no negative entries — the precondition under which the heap-based greedy
+// fill provably matches the full-scan fill bit for bit.
+func symmetricNonNegative(m *comm.Matrix) bool {
+	neg := false
+	for i := 0; i < m.Order() && !neg; i++ {
+		m.ForEachNeighbor(i, func(_ int, v float64) {
+			if v < 0 {
+				neg = true
+			}
+		})
 	}
-	sort.SliceStable(buildOrder, func(a, b int) bool { return sizes[buildOrder[a]] > sizes[buildOrder[b]] })
+	return !neg && m.IsSymmetric()
+}
+
+// greedySizedGroupsScan is the reference full-scan implementation: the
+// affinity of every ungrouped entity is updated and scanned per added
+// member, ties broken towards the lowest entity index.
+func greedySizedGroupsScan(m *comm.Matrix, sizes []int) [][]int {
+	p := m.Order()
+	seedOrder, buildOrder := greedyOrders(m, sizes)
 
 	grouped := make([]bool, p)
 	affinity := make([]float64, p)
@@ -379,6 +422,127 @@ func greedySizedGroups(m *comm.Matrix, sizes []int) [][]int {
 				if affinity[i] > bestAff {
 					bestE, bestAff = i, affinity[i]
 				}
+			}
+			g = append(g, bestE)
+			grouped[bestE] = true
+		}
+		out[gi] = g
+	}
+	return out
+}
+
+// greedyOrders computes the seed order (entities by descending row volume,
+// stable, so ties stay in index order) and the build order (groups by
+// descending target size) shared by both greedy implementations.
+func greedyOrders(m *comm.Matrix, sizes []int) (seedOrder, buildOrder []int) {
+	p := m.Order()
+	vol := make([]float64, p)
+	seedOrder = make([]int, p)
+	for i := range seedOrder {
+		seedOrder[i] = i
+		vol[i] = m.RowVolume(i)
+	}
+	sort.SliceStable(seedOrder, func(x, y int) bool { return vol[seedOrder[x]] > vol[seedOrder[y]] })
+
+	buildOrder = make([]int, len(sizes))
+	for i := range buildOrder {
+		buildOrder[i] = i
+	}
+	sort.SliceStable(buildOrder, func(a, b int) bool { return sizes[buildOrder[a]] > sizes[buildOrder[b]] })
+	return seedOrder, buildOrder
+}
+
+// affEntry is one lazy heap entry of greedySizedGroupsHeap: the affinity an
+// entity had when pushed. Entries go stale when the affinity grows or the
+// entity is grouped; stale entries are discarded on pop.
+type affEntry struct {
+	aff float64
+	e   int
+}
+
+// affHeap is a max-heap by (affinity desc, entity index asc) — exactly the
+// tie-break of the full affinity scan, which takes the first strict maximum
+// scanning indices upward.
+type affHeap []affEntry
+
+func (h affHeap) Len() int { return len(h) }
+func (h affHeap) Less(i, j int) bool {
+	return h[i].aff > h[j].aff || (h[i].aff == h[j].aff && h[i].e < h[j].e)
+}
+func (h affHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *affHeap) Push(x interface{}) { *h = append(*h, x.(affEntry)) }
+func (h *affHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// greedySizedGroupsHeap fills groups touching only the neighbors of each
+// added member. For a symmetric non-negative matrix it is bit-identical to
+// the full scan: affinities accumulate the same terms in the same member
+// order (v + v here equals At(last,i) + At(i,last) there); entities never
+// touched keep affinity exactly 0, and since touched affinities are strictly
+// positive, the scan's all-zero tie — the lowest ungrouped index — is
+// reproduced by a monotone fallback cursor.
+func greedySizedGroupsHeap(m *comm.Matrix, sizes []int) [][]int {
+	p := m.Order()
+	seedOrder, buildOrder := greedyOrders(m, sizes)
+
+	grouped := make([]bool, p)
+	affinity := make([]float64, p)
+	stamp := make([]int, p) // epoch an affinity value belongs to; 0 = never
+	h := make(affHeap, 0, 64)
+	out := make([][]int, len(sizes))
+	next := 0 // cursor into seedOrder
+	low := 0  // globally lowest ungrouped entity (grouped is monotone)
+	epoch := 0
+	for _, gi := range buildOrder {
+		a := sizes[gi]
+		if a == 0 {
+			continue
+		}
+		for next < p && grouped[seedOrder[next]] {
+			next++
+		}
+		seed := seedOrder[next]
+		epoch++
+		h = h[:0]
+		g := make([]int, 0, a)
+		g = append(g, seed)
+		grouped[seed] = true
+		for len(g) < a {
+			last := g[len(g)-1]
+			m.ForEachNeighbor(last, func(j int, v float64) {
+				if j == last || grouped[j] {
+					return
+				}
+				if stamp[j] != epoch {
+					stamp[j] = epoch
+					affinity[j] = 0
+				}
+				affinity[j] += v + v // symmetric: At(last,j) + At(j,last)
+				heap.Push(&h, affEntry{affinity[j], j})
+			})
+			bestE := -1
+			for h.Len() > 0 {
+				top := h[0]
+				heap.Pop(&h)
+				if grouped[top.e] || stamp[top.e] != epoch || affinity[top.e] != top.aff {
+					continue // stale entry
+				}
+				bestE = top.e
+				break
+			}
+			if bestE == -1 {
+				// Nothing with positive affinity left: the scan would pick
+				// the lowest ungrouped index (affinity 0 beats its initial
+				// -1 threshold at the first ungrouped entity).
+				for low < p && grouped[low] {
+					low++
+				}
+				bestE = low
 			}
 			g = append(g, bestE)
 			grouped[bestE] = true
@@ -598,27 +762,41 @@ func refineGroups(m *comm.Matrix, groups [][]int, passes int) {
 // crossingStats counts the entities with at least one positive-volume edge
 // leaving their group — the streams a partition sends across the fabric —
 // in total and for the most exposed single group (the bottleneck NIC under
-// per-link contention).
+// per-link contention). A single sweep over the nonzero entries marks both
+// endpoints of every positive cross-group pair; the counts are integers, so
+// the result is exactly the one the historical O(n²) scan produced.
 func crossingStats(m *comm.Matrix, groups [][]int) (total, peak int) {
-	group := make([]int, m.Order())
+	n := m.Order()
+	group := make([]int, n)
 	for gi, g := range groups {
 		for _, e := range g {
 			group[e] = gi
 		}
 	}
-	perGroup := make([]int, len(groups))
-	for i := 0; i < m.Order(); i++ {
-		for j := 0; j < m.Order(); j++ {
-			if i != j && group[i] != group[j] && m.At(i, j)+m.At(j, i) > 0 {
-				total++
-				perGroup[group[i]]++
-				break
+	crossing := make([]bool, n)
+	for i := 0; i < n; i++ {
+		m.ForEachNeighbor(i, func(j int, v float64) {
+			if j == i || group[i] == group[j] || (crossing[i] && crossing[j]) {
+				return
 			}
+			// Pairs with either direction stored are the only ones whose
+			// volume sum can be positive.
+			if v+m.At(j, i) > 0 {
+				crossing[i] = true
+				crossing[j] = true
+			}
+		})
+	}
+	perGroup := make([]int, len(groups))
+	for i, c := range crossing {
+		if c {
+			total++
+			perGroup[group[i]]++
 		}
 	}
-	for _, n := range perGroup {
-		if n > peak {
-			peak = n
+	for _, c := range perGroup {
+		if c > peak {
+			peak = c
 		}
 	}
 	return total, peak

@@ -155,15 +155,11 @@ func MapMatrix(tree *Tree, m *comm.Matrix, opt Options) (*Mapping, error) {
 func Cost(tree *Tree, m *comm.Matrix, assignment []int) float64 {
 	var s float64
 	for i := 0; i < m.Order(); i++ {
-		for j := 0; j < m.Order(); j++ {
-			if i == j {
-				continue
-			}
-			v := m.At(i, j)
-			if v != 0 {
+		m.ForEachNeighbor(i, func(j int, v float64) {
+			if j != i {
 				s += v * float64(tree.LeafDistance(assignment[i], assignment[j]))
 			}
-		}
+		})
 	}
 	return s
 }
