@@ -251,6 +251,32 @@ func BenchmarkAblationShift(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationTorus is ablation A13: the scrambled halo exchange on a
+// routed torus fabric under SFC-seeded distance matching, the balanced-tree-
+// restricted matcher (which cannot see the shape), and round-robin — on two
+// torus shapes and two scheduler seeds, mirroring the acceptance property of
+// the test suite.
+func BenchmarkAblationTorus(b *testing.B) {
+	for _, dims := range [][]int{{4, 4}, {2, 2, 4}} {
+		for _, seed := range []int64{7, 42} {
+			b.Run(fmt.Sprintf("%dd/seed=%d", len(dims), seed), func(b *testing.B) {
+				cfg := experiment.TorusConfig{Dims: dims, Seed: seed}
+				var rows []experiment.AblationRow
+				var err error
+				for i := 0; i < b.N; i++ {
+					rows, err = experiment.AblationTorus(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				// The A13 acceptance property, enforced at bench time too:
+				// sfc strictly beats tree-matched, which strictly beats rr.
+				reportAndAssert(b, rows, "torus")
+			})
+		}
+	}
+}
+
 // reportAndAssert emits every row's simulated seconds as a custom metric and
 // fails the benchmark when an asserted ordering of the ablation is violated
 // — the exact same relations the test suite and cmd/ablate -json check

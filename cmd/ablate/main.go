@@ -15,6 +15,7 @@
 //	ablate -exp rack        # rack-tier fabric, three-level placement (A10)
 //	ablate -exp hetero      # heterogeneous pod-tier platform (A11)
 //	ablate -exp shift       # cross-fabric adaptive migration (A12)
+//	ablate -exp torus       # torus halo exchange, routed fabric (A13)
 //	ablate -exp scale       # placement-latency benchmark tier (S1)
 //	ablate -full            # paper-scale matrix and iterations
 //
@@ -45,7 +46,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, shift, scale, all (a comma-separated list selects several; scale is excluded from all)")
+		exp        = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, shift, torus, scale, all (a comma-separated list selects several; scale is excluded from all)")
 		full       = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations, 192 cores; overrides -rows/-cols/-iters/-cores)")
 		jsonF      = flag.Bool("json", false, "emit one machine-readable JSON report on stdout (rows, cycle counts, ordering verdicts); exit non-zero on any ordering violation")
 		seed       = flag.Int64("seed", 7, "simulated OS scheduler seed")
@@ -80,7 +81,7 @@ func main() {
 // ablation is one runnable study of the suite.
 type ablation struct {
 	name  string // -exp selector
-	id    string // stable identifier (A1..A12)
+	id    string // stable identifier (A1..A13)
 	title string
 	run   func(experiment.Config) ([]experiment.AblationRow, error)
 }
@@ -109,6 +110,9 @@ func ablations() []ablation {
 		}},
 		{"shift", "A12", "A12: cross-fabric adaptive migration (static vs adaptive-flat vs adaptive-fabric vs oracle)", func(c experiment.Config) ([]experiment.AblationRow, error) {
 			return experiment.AblationShift(experiment.ShiftConfigFrom(c))
+		}},
+		{"torus", "A13", "A13: torus halo exchange on the routed fabric (sfc vs tree-matched vs rr)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			return experiment.AblationTorus(experiment.TorusConfigFrom(c))
 		}},
 	}
 }
@@ -153,7 +157,7 @@ func parseIntList(s string) ([]int, error) {
 
 // selectAblations resolves a -exp value ("all", one name, or a
 // comma-separated list) against the suite, preserving report order. "all"
-// selects the twelve ablations; the benchmark tiers (extraAblations) only
+// selects the thirteen ablations; the benchmark tiers (extraAblations) only
 // run when named explicitly.
 func selectAblations(exp string) ([]ablation, error) {
 	all := ablations()

@@ -46,8 +46,8 @@ func TestSelectAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 12 || all[0].id != "A1" || all[11].id != "A12" {
-		t.Fatalf("all selects %d ablations (%+v), want A1..A12", len(all), all)
+	if len(all) != 13 || all[0].id != "A1" || all[12].id != "A13" {
+		t.Fatalf("all selects %d ablations (%+v), want A1..A13", len(all), all)
 	}
 	list, err := selectAblations("shift,adaptive")
 	if err != nil {

@@ -7,6 +7,11 @@
 //	topo -spec "rack:2 node:4 pack:2 core:8"         # two racks of 4 machines
 //	topo -spec "pod:2 rack:2 node:2 pack:1 core:4"   # three switch tiers
 //	topo -spec "rack:2 node:{pack:2 core:8 | pack:1 core:4}"  # heterogeneous
+//	topo -spec "torus:4x4 pack:1 core:4"             # 16-node 2-D torus
+//	topo -spec "dragonfly:2,4,2 pack:1 core:4"       # 2 groups x 4 routers x 2 nodes
+//
+// Shaped (torus/dragonfly) fabrics additionally print the routed fabric
+// graph: edge classes and a worked example route.
 package main
 
 import (
@@ -53,6 +58,10 @@ func run(spec string, latency bool, w io.Writer) error {
 	fmt.Fprintln(w, topo)
 	fmt.Fprintf(w, "normalized spec: %s\n\n", topo.Spec())
 	fmt.Fprint(w, topo.Render())
+	if fabric := topo.RenderFabric(); fabric != "" {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, fabric)
+	}
 
 	fmt.Fprintln(w, "\nNUMA distances (SLIT style, local = 10):")
 	for _, row := range topo.NUMADistanceMatrix() {

@@ -77,6 +77,66 @@ func TestRunClusterOutput(t *testing.T) {
 	}
 }
 
+// TestRunTorusOutput is the golden render of a shaped fabric: the
+// normalized spec keeps its shape token, and the routed fabric graph
+// section reports the routing discipline, the edge classes and a worked
+// route.
+func TestRunTorusOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run("torus:4x4 pack:1 core:2", false, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"normalized spec: torus:4x4 pack:1 numa:1 core:2 pu:1",
+		"Fabric: torus 4x4 (16 nodes, 16 vertices, 32 edges)",
+		"routing: dimension-order (shorter wrap direction, positive on ties)",
+		"links x32:",
+		"route 0 -> 15:",
+		"(2 hops,",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunDragonflyOutput is the dragonfly counterpart: three edge classes
+// (node links, router mesh, global links) and minimal routing.
+func TestRunDragonflyOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run("dragonfly:2,4,2 pack:1 core:2", false, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"normalized spec: dragonfly:2,4,2 pack:1 numa:1 core:2 pu:1",
+		"Fabric: dragonfly groups=2 routers=4 nodes=2 (16 nodes, 24 vertices, 29 edges)",
+		"routing: minimal (node, router, gateway, global link, router, node)",
+		"links x16:",
+		"links x12:",
+		"links x1:",
+		"route 0 -> 15:",
+		"(4 hops,",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunTreeFabricHasNoFabricSection pins that tree fabrics do not grow
+// the routed-graph section: their structure is already the rendered tree.
+func TestRunTreeFabricHasNoFabricSection(t *testing.T) {
+	var b strings.Builder
+	if err := run("rack:2 node:2 pack:1 core:2", false, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Fabric:") {
+		t.Errorf("tree fabric rendered a Fabric section:\n%s", b.String())
+	}
+}
+
 func TestRunLatencySuppressedOnLargeMachines(t *testing.T) {
 	var b strings.Builder
 	if err := run("pack:24 l3:1 core:8 pu:1", true, &b); err != nil {

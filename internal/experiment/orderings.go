@@ -65,6 +65,11 @@ func AblationOrderings(exp string) []Ordering {
 			{Before: "shift/adaptive-flat", After: "shift/static", Strict: true},
 			{Before: "shift/oracle", After: "shift/adaptive-fabric"},
 		}
+	case "torus": // A13
+		return []Ordering{
+			{Before: "torus/sfc", After: "torus/tree-matched", Strict: true},
+			{Before: "torus/tree-matched", After: "torus/rr", Strict: true},
+		}
 	}
 	return nil
 }

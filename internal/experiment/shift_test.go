@@ -102,6 +102,33 @@ func TestShiftFabricMovesCrossTheFabric(t *testing.T) {
 	}
 }
 
+// TestShiftNoIntraNodeChurn is the candidate-anchoring regression: on a
+// symmetric 2×2×12 platform whose nodes are single-socket — every core of a
+// node prices identically against every other, so no intra-node move can buy
+// anything — the per-epoch hierarchical candidate used to relabel
+// cost-symmetric slots inside a node (swapping two tasks on sibling cores,
+// or parking one on an equivalent core), and every such relabeling was
+// committed as a real migration. With the candidate anchored against the
+// mapping in force, the fabric-aware arm's committed moves are exclusively
+// the cross-node recoveries the scenario is about.
+func TestShiftNoIntraNodeChurn(t *testing.T) {
+	cfg := testShiftCfg()
+	cfg.Racks, cfg.NodesPerRack = 2, 2
+	cfg.CoresPerNode, cfg.CoresPerSocket = 12, 12
+	res, err := RunShift("adaptive-fabric", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Rebinds == 0 {
+		t.Fatalf("no moves committed; the witness is not exercising the engine (stats %+v)", st)
+	}
+	if st.IntraNodeRebinds != 0 {
+		t.Errorf("%d intra-node rebinds committed on a cost-symmetric platform, want 0 (stats %+v)",
+			st.IntraNodeRebinds, st)
+	}
+}
+
 // TestRunShiftDeterministic pins bit-reproducibility of every arm.
 func TestRunShiftDeterministic(t *testing.T) {
 	for _, mode := range ShiftModes() {

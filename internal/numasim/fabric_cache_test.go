@@ -10,14 +10,18 @@ import (
 // exactly like the reference tree walk, on every fabric depth the spec
 // language can express.
 
-// fabricCacheSpecs spans flat, racked, and pod-depth fabrics, even and
-// uneven node counts.
+// fabricCacheSpecs spans flat, racked, and pod-depth tree fabrics (even and
+// uneven node counts) plus shaped torus/dragonfly fabrics, which price along
+// routed edge paths instead of the per-level tables.
 var fabricCacheSpecs = []string{
 	"cluster:6 pack:1 core:2",
 	"rack:2 node:3 pack:1 core:2",
 	"rack:3 node:2,3,1 pack:1 core:2",
 	"pod:2 rack:2 node:2 pack:1 core:2",
 	"pod:2 rack:2,1 node:2 pack:1 core:4",
+	"torus:2x3 pack:1 core:2",
+	"torus:2x2x2 pack:1 core:1",
+	"dragonfly:2,2,2 pack:1 core:2",
 }
 
 func TestFabricLatencyCacheMatchesWalk(t *testing.T) {
@@ -89,18 +93,26 @@ func TestFabricBandwidthCacheMatchesWalk(t *testing.T) {
 		}
 		m := plat.Machine()
 		n := len(m.Topology().ClusterNodes())
-		// Exercise the global fallback, a per-NIC count, and unset counts.
-		nic := make([]int, n)
-		for i := range nic {
-			nic[i] = 1 + i%3
+		// Exercise the global fallback, full per-edge counts, and a mix of
+		// set and unset (-1, global-fallback) edges.
+		ne := m.NumFabricEdges()
+		full := make([]int, ne)
+		mixed := make([]int, ne)
+		for e := range full {
+			full[e] = 1 + e%3
+			mixed[e] = full[e]
+			if e%2 == 1 {
+				mixed[e] = -1
+			}
 		}
 		streamStates := []struct {
-			streams [][]int
+			streams []int
 			global  int
 		}{
 			{nil, 1},
 			{nil, 7},
-			{[][]int{nic}, 2},
+			{full, 2},
+			{mixed, 5},
 		}
 		for _, st := range streamStates {
 			for from := 0; from < n; from++ {
@@ -114,6 +126,69 @@ func TestFabricBandwidthCacheMatchesWalk(t *testing.T) {
 						t.Errorf("%s global=%d: bandwidth(%d,%d) cached %v != walked %v",
 							spec, st.global, from, to, cached, walked)
 					}
+				}
+			}
+		}
+	}
+}
+
+// TestLinkStreamsPriceIdenticallyPerEdge pins the satellite guarantee of
+// the per-edge refactor: declaring contention through the per-level
+// SetLinkStreams wrapper produces the same per-edge stream state — and so
+// the same transfer prices — as declaring the equivalent counts directly
+// with SetEdgeStreams.
+func TestLinkStreamsPriceIdenticallyPerEdge(t *testing.T) {
+	for _, spec := range fabricCacheSpecs {
+		platA, err := NewPlatform(spec, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		platB, err := NewPlatform(spec, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		a, b := platA.Machine(), platB.Machine()
+		g := a.FabricGraph()
+		perEdge := make([]int, g.NumEdges())
+		for e := range perEdge {
+			perEdge[e] = -1
+		}
+		if a.NumFabricLevels() == 0 {
+			// Shaped fabric: no per-level form exists; only the direct
+			// per-edge declaration applies.
+			for e := range perEdge {
+				perEdge[e] = 1 + e%4
+			}
+			a.SetEdgeStreams(perEdge)
+			b.SetEdgeStreams(perEdge)
+		} else {
+			for l := 0; l < a.NumFabricLevels(); l++ {
+				counts := make([]int, a.FabricLevelSize(l))
+				for i := range counts {
+					counts[i] = 1 + (l+i)%4
+				}
+				a.SetLinkStreams(l, counts)
+				for i, e := range g.LevelEdges(l) {
+					perEdge[e] = counts[i]
+				}
+			}
+			b.SetEdgeStreams(perEdge)
+		}
+		n := len(a.Topology().ClusterNodes())
+		for e := 0; e < a.NumFabricEdges(); e++ {
+			if a.EdgeStreams(e) != b.EdgeStreams(e) {
+				t.Fatalf("%s: EdgeStreams(%d): wrapper %d != per-edge %d", spec, e, a.EdgeStreams(e), b.EdgeStreams(e))
+			}
+		}
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				if from == to {
+					continue
+				}
+				pa := a.fabricBandwidth(from, to, a.edgeStreams, a.fabricStreams)
+				pb := b.fabricBandwidth(from, to, b.edgeStreams, b.fabricStreams)
+				if pa != pb {
+					t.Errorf("%s: bandwidth(%d,%d) via wrapper %v != per-edge %v", spec, from, to, pa, pb)
 				}
 			}
 		}

@@ -150,6 +150,19 @@ type Machine struct {
 	// fabricCumLat[from][d] + fabricCumLat[to][d] — two lookups instead of a
 	// tree walk. Built once per topology in New.
 	fabricCumLat [][]float64
+	// fabricGraph is the routed fabric graph (topology.FabricGraph): the
+	// torus/dragonfly graph on a shaped fabric, the compiled tree otherwise.
+	// Nil on single-machine topologies. Shaped fabrics have no fabricLevels —
+	// they price along routed edge paths instead of the per-level tables.
+	fabricGraph *topology.FabricGraph
+	// edgeLat[e] and edgeBW[e] are the fabric graph's edge attributes,
+	// flattened once at construction for the pricing hot paths.
+	edgeLat []float64
+	edgeBW  []float64
+	// levelEdge[l][g] is the fabric-graph edge id of link g at tree fabric
+	// level l — the bridge that lets the per-level SetLinkStreams form
+	// address the per-edge stream storage. Empty on shaped fabrics.
+	levelEdge [][]int
 	// l3Share[pu] is the slice of the innermost shared cache a PU can count
 	// on, in bytes (cache size / PUs sharing it).
 	l3Share []int64
@@ -167,16 +180,18 @@ type Machine struct {
 	// every fabric link's bandwidth is shared among all of them. A fabric
 	// level applies it only while that level's per-link counts are unset.
 	fabricStreams int
-	// linkStreams[l][i], when linkStreams[l] is non-nil, is the number of
-	// crossing streams touching link i of fabric level l (level 0: cluster
-	// node i's NIC; level 1: rack i's uplink; level 2: pod i's uplink).
-	// Per-link counts replace the global fabricStreams model level by level:
-	// a transfer is capped by the most contended link on its hop path, so
-	// balancing the crossing streams across the links of every level
-	// recovers bandwidth that the global model would average away. The outer
-	// slice is replaced wholesale on every update (copy-on-write), so a
-	// snapshot taken under the lock stays consistent outside it.
-	linkStreams [][]int
+	// edgeStreams[e], when edgeStreams is non-nil and edgeStreams[e] >= 0,
+	// is the number of crossing streams touching fabric-graph edge e; a
+	// negative entry leaves that edge on the global fabricStreams fallback.
+	// Per-edge counts replace the global model edge by edge: a transfer is
+	// capped by the most contended edge on its routed path, so balancing the
+	// crossing streams across the fabric recovers bandwidth that the global
+	// model would average away. On tree fabrics SetLinkStreams addresses
+	// this same storage through levelEdge, so per-level declarations price
+	// identically through the per-edge path. The slice is replaced wholesale
+	// on every update (copy-on-write), so a snapshot taken under the lock
+	// stays consistent outside it.
+	edgeStreams []int
 	// boundPerPU counts bound Procs per PU. SMT compute inflation applies
 	// when at least two PUs of the same core are occupied (hyperthread
 	// sharing); several Procs time-multiplexed on one PU do not inflate —
@@ -259,6 +274,19 @@ func New(topo *topology.Topology, cfg Config) (*Machine, error) {
 			m.fabricCumLat[c] = cum
 		}
 	}
+	if g := topo.FabricGraph(); g != nil {
+		m.fabricGraph = g
+		m.edgeLat = make([]float64, g.NumEdges())
+		m.edgeBW = make([]float64, g.NumEdges())
+		for i, e := range g.Edges() {
+			m.edgeLat[i] = e.LatencyCycles
+			m.edgeBW[i] = e.BandwidthBytesPerSec
+		}
+		m.levelEdge = make([][]int, g.NumLevels())
+		for l := range m.levelEdge {
+			m.levelEdge[l] = g.LevelEdges(l)
+		}
+	}
 	for i := range m.accessors {
 		m.accessors[i] = 1
 	}
@@ -333,7 +361,7 @@ func (m *Machine) ResetAccessors() {
 	}
 	m.remoteStreams = 0
 	m.fabricStreams = 0
-	m.linkStreams = nil
+	m.edgeStreams = nil
 	m.mu.Unlock()
 }
 
@@ -359,34 +387,36 @@ func (m *Machine) RemoteStreams() int {
 
 // SetFabricStreams declares the machine-wide fallback fabric contention: how
 // many streams cross cluster-node boundaries in steady state, every fabric
-// link's bandwidth shared equally among all of them. 0 disables the cap. Any
-// per-link counts previously declared with SetLinkStreams are cleared — the
-// two models are alternatives, the per-level one strictly finer. A no-op
-// concern on single-machine topologies, where nothing crosses.
+// edge's bandwidth shared equally among all of them. 0 disables the cap. Any
+// per-edge counts previously declared with SetEdgeStreams or SetLinkStreams
+// are cleared — the two models are alternatives, the per-edge one strictly
+// finer. A no-op concern on single-machine topologies, where nothing
+// crosses.
 //
-// Deprecated: declare per-level counts with SetLinkStreams; this remains as
-// the global-fallback setter behind them.
+// Deprecated: declare per-edge counts with SetEdgeStreams (or the per-level
+// SetLinkStreams form on tree fabrics); this remains as the global-fallback
+// setter behind them.
 func (m *Machine) SetFabricStreams(n int) {
 	if n < 0 {
 		n = 0
 	}
 	m.mu.Lock()
 	m.fabricStreams = n
-	m.linkStreams = nil
+	m.edgeStreams = nil
 	m.mu.Unlock()
 }
 
 // FabricStreams returns the declared machine-wide fabric contention degree
-// (the fallback model): 0 once every fabric level carries per-link counts —
+// (the fallback model): 0 once every fabric edge carries a per-edge count —
 // the global count is then out of force everywhere — and the declared count
-// otherwise, because levels without per-link counts still price against it.
+// otherwise, because edges without per-edge counts still price against it.
 func (m *Machine) FabricStreams() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.fabricLevels) > 0 && len(m.linkStreams) == len(m.fabricLevels) {
+	if m.fabricGraph != nil && m.edgeStreams != nil {
 		all := true
-		for _, ls := range m.linkStreams {
-			if ls == nil {
+		for _, s := range m.edgeStreams {
+			if s < 0 {
 				all = false
 				break
 			}
@@ -401,8 +431,22 @@ func (m *Machine) FabricStreams() int {
 // NumFabricLevels returns the number of link levels of the cluster fabric,
 // innermost first: 0 on a single machine, 1 on a flat (single-switch)
 // cluster (the NIC links), 2 with a rack tier (+ ToR uplinks), 3 with a pod
-// tier (+ pod uplinks).
+// tier (+ pod uplinks). Shaped (torus/dragonfly) fabrics have no levels —
+// 0 here, with FabricGraph carrying the per-edge structure.
 func (m *Machine) NumFabricLevels() int { return len(m.fabricLevels) }
+
+// NumFabricEdges returns the number of edges of the routed fabric graph
+// (0 on a single machine).
+func (m *Machine) NumFabricEdges() int {
+	if m.fabricGraph == nil {
+		return 0
+	}
+	return m.fabricGraph.NumEdges()
+}
+
+// FabricGraph returns the routed fabric graph the machine prices
+// cross-node transfers along, or nil on a single machine.
+func (m *Machine) FabricGraph() *topology.FabricGraph { return m.fabricGraph }
 
 // FabricLevelSize returns the number of links at a fabric level (the number
 // of cluster nodes, racks, or pods).
@@ -414,19 +458,48 @@ func (m *Machine) FabricLevelSize(level int) int { return len(m.fabricLevels[lev
 // indices differ.
 func (m *Machine) FabricGroupOf(level, c int) int { return m.fabricGroupOf[level][c] }
 
-// SetLinkStreams declares the per-link fabric contention of one level:
-// counts[i] is the number of crossing streams touching link i of that level
-// (level 0: cluster node i's NIC; level 1: rack i's uplink; level 2: pod i's
-// uplink). A transfer is capped by the most contended link on its hop path,
-// so a placement that balances the crossing streams across the links of
-// every level sustains more bandwidth than one that funnels them through a
-// single link, even at equal total cut. Placement code derives the counts
-// from the task layout and affinity matrix (placement.SetFabricContention).
-// While a level's counts are set they take precedence over the global model
-// at that level; passing nil reverts the level to whatever SetFabricStreams
-// last declared. A mis-sized slice panics (a programming error, like an
+// SetEdgeStreams declares the per-edge fabric contention over the routed
+// fabric graph: counts[e] is the number of crossing streams touching edge e
+// of FabricGraph().Edges(). A transfer is capped by the most contended edge
+// on its routed path, so a placement that balances the crossing streams
+// across the fabric sustains more bandwidth than one that funnels them
+// through a single edge, even at equal total cut. A negative count leaves
+// that edge on the global fallback (SetFabricStreams); passing nil reverts
+// every edge. A mis-sized slice panics (a programming error, like an
+// out-of-range index): zero-filling missing edges would silently model them
+// as uncontended. This is the general form behind the per-level
+// SetLinkStreams wrapper.
+func (m *Machine) SetEdgeStreams(counts []int) {
+	if m.fabricGraph == nil {
+		panic("numasim: SetEdgeStreams on a single-machine topology (no fabric)")
+	}
+	if counts != nil && len(counts) != m.fabricGraph.NumEdges() {
+		panic(fmt.Sprintf("numasim: SetEdgeStreams got %d counts for %d fabric edges",
+			len(counts), m.fabricGraph.NumEdges()))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if counts == nil {
+		m.edgeStreams = nil
+		return
+	}
+	// Copy-on-write: effectiveBandwidth snapshots the slice under the lock
+	// and reads the snapshot outside, so in-place mutation would race.
+	m.edgeStreams = append([]int(nil), counts...)
+}
+
+// SetLinkStreams declares the per-link fabric contention of one tree-fabric
+// level: counts[i] is the number of crossing streams touching link i of that
+// level (level 0: cluster node i's NIC; level 1: rack i's uplink; level 2:
+// pod i's uplink). The per-level form is a wrapper over the per-edge storage
+// of SetEdgeStreams — the level's links map onto fabric-graph edge ids, so
+// the declaration prices identically through the per-edge path. While a
+// level's counts are set they take precedence over the global model at that
+// level; passing nil reverts the level to whatever SetFabricStreams last
+// declared. A mis-sized slice panics (a programming error, like an
 // out-of-range index): zero-filling missing links would silently model them
-// as uncontended.
+// as uncontended. Shaped (torus/dragonfly) fabrics have no levels — declare
+// per-edge counts there.
 func (m *Machine) SetLinkStreams(level int, counts []int) {
 	if level < 0 || level >= len(m.fabricLevels) {
 		panic(fmt.Sprintf("numasim: SetLinkStreams level %d on a %d-level fabric", level, len(m.fabricLevels)))
@@ -437,29 +510,58 @@ func (m *Machine) SetLinkStreams(level int, counts []int) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	// Copy-on-write on the outer slice: effectiveBandwidth snapshots it under
-	// the lock and reads the snapshot outside, so in-place mutation would
-	// race.
-	next := make([][]int, len(m.fabricLevels))
-	copy(next, m.linkStreams)
-	if counts == nil {
-		next[level] = nil
-	} else {
-		next[level] = append([]int(nil), counts...)
+	next := m.copyEdgeStreamsLocked()
+	for g, e := range m.levelEdge[level] {
+		if counts == nil {
+			next[e] = -1
+		} else {
+			next[e] = counts[g]
+		}
 	}
-	m.linkStreams = next
+	m.edgeStreams = next
+}
+
+// copyEdgeStreamsLocked returns a fresh copy of the per-edge stream counts,
+// all unset (-1) when none are declared yet. Copy-on-write: the caller
+// installs the copy wholesale, so snapshots taken under the lock stay
+// consistent outside it.
+func (m *Machine) copyEdgeStreamsLocked() []int {
+	next := make([]int, m.fabricGraph.NumEdges())
+	if m.edgeStreams == nil {
+		for i := range next {
+			next[i] = -1
+		}
+		return next
+	}
+	copy(next, m.edgeStreams)
+	return next
+}
+
+// EdgeStreams returns the declared crossing-stream count of fabric-graph
+// edge e, falling back to the global fabric-stream count while the edge's
+// count is unset.
+func (m *Machine) EdgeStreams(e int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.edgeStreams == nil || m.edgeStreams[e] < 0 {
+		return m.fabricStreams
+	}
+	return m.edgeStreams[e]
 }
 
 // LinkStreams returns the declared crossing-stream count of link i at the
-// given fabric level, falling back to the global fabric-stream count while
-// the level's per-link counts are unset.
+// given tree-fabric level, falling back to the global fabric-stream count
+// while the link's per-edge count is unset.
 func (m *Machine) LinkStreams(level, i int) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if level >= len(m.linkStreams) || m.linkStreams[level] == nil {
+	if level >= len(m.levelEdge) || m.edgeStreams == nil {
 		return m.fabricStreams
 	}
-	return m.linkStreams[level][i]
+	if s := m.edgeStreams[m.levelEdge[level][i]]; s >= 0 {
+		return s
+	}
+	return m.fabricStreams
 }
 
 // SetFabricLinkStreams declares the per-link fabric contention of the NIC
@@ -473,7 +575,7 @@ func (m *Machine) LinkStreams(level, i int) int {
 func (m *Machine) SetFabricLinkStreams(nic, uplink []int) {
 	if nic == nil {
 		m.mu.Lock()
-		m.linkStreams = nil
+		m.edgeStreams = nil
 		m.mu.Unlock()
 		return
 	}
@@ -550,6 +652,11 @@ func (m *Machine) fabricDivergence(fromC, toC int) int {
 // fabricCumLat distance table, so the price is two lookups at the
 // divergence level instead of a walk over the fabric tree.
 func (m *Machine) fabricLatencyCycles(fromC, toC int) float64 {
+	if len(m.fabricLevels) == 0 {
+		// Shaped fabric: the routed-path latency cache inside the graph
+		// (pinned equal to the reference walk over Route).
+		return m.fabricGraph.PathLatency(fromC, toC)
+	}
 	cf, ct := m.fabricCumLat[fromC], m.fabricCumLat[toC]
 	for l := range m.fabricLevels {
 		if m.fabricGroupOf[l][fromC] == m.fabricGroupOf[l][toC] {
@@ -565,6 +672,14 @@ func (m *Machine) fabricLatencyCycles(fromC, toC int) float64 {
 // link attributes off the topology objects. Kept (unexported) for the
 // cache-equality test and the cached-vs-walked benchmark.
 func (m *Machine) fabricLatencyCyclesWalk(fromC, toC int) float64 {
+	if len(m.fabricLevels) == 0 {
+		var lat float64
+		edges := m.fabricGraph.Edges()
+		for _, e := range m.fabricGraph.Route(fromC, toC) {
+			lat += edges[e].LatencyCycles
+		}
+		return lat
+	}
 	var lat float64
 	for l, links := range m.fabricLevels {
 		gf, gt := m.fabricGroupOf[l][fromC], m.fabricGroupOf[l][toC]
@@ -577,23 +692,33 @@ func (m *Machine) fabricLatencyCyclesWalk(fromC, toC int) float64 {
 }
 
 // fabricBandwidth returns the bytes/second a stream between two distinct
-// cluster nodes can sustain: the bottleneck over the links of its hop path,
-// each link's bandwidth shared among the streams declared to cross it
-// (per-level counts from SetLinkStreams), or among all crossing streams
-// under the global fallback count (SetFabricStreams). The stream-count
-// state is passed in by the caller — effectiveBandwidth snapshots it under
-// the machine lock it already holds, so the hot path takes the lock once.
-// The path includes, at every fabric level where the endpoints' groups
-// differ, both endpoint links of that level.
-// The link bandwidths come from the flattened fabricLinkBW table; only the
-// stream counts vary per call.
-func (m *Machine) fabricBandwidth(fromC, toC int, streams [][]int, global int) float64 {
+// cluster nodes can sustain: the bottleneck over the edges of its routed
+// path, each edge's bandwidth shared among the streams declared to cross it
+// (per-edge counts from SetEdgeStreams or the SetLinkStreams wrapper), or
+// among all crossing streams under the global fallback count
+// (SetFabricStreams). The stream-count state is passed in by the caller —
+// effectiveBandwidth snapshots it under the machine lock it already holds,
+// so the hot path takes the lock once. On tree fabrics the path includes,
+// at every fabric level where the endpoints' groups differ, both endpoint
+// links of that level, read from the flattened fabricLinkBW table and
+// addressed into the per-edge stream storage through levelEdge — the same
+// arithmetic the per-level model used. Shaped fabrics bottleneck over the
+// routed PathEdges.
+func (m *Machine) fabricBandwidth(fromC, toC int, streams []int, global int) float64 {
 	bw := math.Inf(1)
+	if len(m.fabricLevels) == 0 {
+		for _, e := range m.fabricGraph.PathEdges(fromC, toC) {
+			if b := shareLink(m.edgeBW[e], edgeStreamCount(streams, e, global)); b < bw {
+				bw = b
+			}
+		}
+		return bw
+	}
 	d := m.fabricDivergence(fromC, toC)
 	for l := 0; l < d; l++ {
 		gf, gt := m.fabricGroupOf[l][fromC], m.fabricGroupOf[l][toC]
 		for _, g := range [2]int{gf, gt} {
-			if b := shareLink(m.fabricLinkBW[l][g], levelLinkStreams(streams, l, g, global)); b < bw {
+			if b := shareLink(m.fabricLinkBW[l][g], edgeStreamCount(streams, m.levelEdge[l][g], global)); b < bw {
 				bw = b
 			}
 		}
@@ -602,17 +727,26 @@ func (m *Machine) fabricBandwidth(fromC, toC int, streams [][]int, global int) f
 }
 
 // fabricBandwidthWalk is the reference implementation of fabricBandwidth,
-// reading the link attributes off the topology objects per call. Kept
-// (unexported) for the cache-equality test.
-func (m *Machine) fabricBandwidthWalk(fromC, toC int, streams [][]int, global int) float64 {
+// reading the link attributes off the topology objects (or the graph's
+// uncached Route) per call. Kept (unexported) for the cache-equality test.
+func (m *Machine) fabricBandwidthWalk(fromC, toC int, streams []int, global int) float64 {
 	bw := math.Inf(1)
+	if len(m.fabricLevels) == 0 {
+		edges := m.fabricGraph.Edges()
+		for _, e := range m.fabricGraph.Route(fromC, toC) {
+			if b := shareLink(edges[e].BandwidthBytesPerSec, edgeStreamCount(streams, e, global)); b < bw {
+				bw = b
+			}
+		}
+		return bw
+	}
 	for l, links := range m.fabricLevels {
 		gf, gt := m.fabricGroupOf[l][fromC], m.fabricGroupOf[l][toC]
 		if gf == gt {
 			break
 		}
 		for _, g := range [2]int{gf, gt} {
-			if b := shareLink(links[g].Attr.BandwidthBytesPerSec, levelLinkStreams(streams, l, g, global)); b < bw {
+			if b := shareLink(links[g].Attr.BandwidthBytesPerSec, edgeStreamCount(streams, m.levelEdge[l][g], global)); b < bw {
 				bw = b
 			}
 		}
@@ -620,13 +754,14 @@ func (m *Machine) fabricBandwidthWalk(fromC, toC int, streams [][]int, global in
 	return bw
 }
 
-// levelLinkStreams returns the contention degree of one fabric link: its
-// level's per-link count when declared, the global fallback otherwise.
-func levelLinkStreams(streams [][]int, level, i, global int) int {
-	if level >= len(streams) || streams[level] == nil {
+// edgeStreamCount returns the contention degree of one fabric edge: its
+// per-edge count when declared (non-negative), the global fallback
+// otherwise.
+func edgeStreamCount(streams []int, e, global int) int {
+	if streams == nil || streams[e] < 0 {
 		return global
 	}
-	return streams[level][i]
+	return streams[e]
 }
 
 // shareLink divides a link's bandwidth among its crossing streams.
@@ -652,7 +787,7 @@ func (m *Machine) effectiveBandwidth(pu, node int) float64 {
 	// Snapshot the fabric stream state in the same critical section; the
 	// slices are replaced wholesale, never mutated in place, so reading the
 	// snapshot outside the lock is safe.
-	streams, global := m.linkStreams, m.fabricStreams
+	streams, global := m.edgeStreams, m.fabricStreams
 	m.mu.Unlock()
 	bw := nodeObj.Attr.BandwidthBytesPerSec / float64(acc)
 	if m.nodeOf[pu] == node {

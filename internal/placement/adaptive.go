@@ -167,6 +167,7 @@ func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
 			cand.TaskPU[id] = e.current[id]
 		}
 	}
+	e.anchorCandidate(cand, w, isLive)
 	gain := MappingCost(e.mach, w, e.current) - MappingCost(e.mach, w, cand.TaskPU)
 	var migCost float64
 	for id, pu := range cand.TaskPU {
@@ -252,8 +253,162 @@ func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
 	// heavy-task and unbound counts, both unchanged by re-binding bound
 	// tasks. A no-op on single-machine topologies (NumFabricLevels is 0
 	// there), which keeps the A8 results bit-stable.
-	if e.mach.NumFabricLevels() > 0 {
+	if e.mach.NumFabricLevels() > 0 || e.mach.FabricGraph() != nil {
 		SetFabricContention(e.mach, e.assignmentLocked(), w)
+	}
+}
+
+// anchorCandidate canonicalizes a candidate mapping against the mapping in
+// force. A candidate is computed from scratch each epoch, so it freely
+// relabels cost-symmetric slots — swapping two tasks inside one cluster
+// node, or parking a task on an equivalent sibling core — and each such
+// relabeling would otherwise be committed as a real migration (inflating
+// IntraNodeRebinds and the hysteresis bill) while buying nothing. Two
+// exact-zero rewrites run to a fixpoint in deterministic task order: a pair
+// of live tasks whose candidate slots are each other's current slots on one
+// node is swapped back, and a task moved within its node whose current slot
+// is unoccupied in the candidate is parked back — in both cases only when
+// the modeled communication cost of the rewrite is exactly zero. Control
+// PUs follow their slots, so an anchored slot triggers no control rebind
+// either.
+func (e *AdaptiveEngine) anchorCandidate(cand *Assignment, w *comm.Matrix, isLive []bool) {
+	n := len(cand.TaskPU)
+	if len(e.current) < n {
+		n = len(e.current)
+	}
+	if len(cand.ControlPU) < n || len(e.currentCtl) < n {
+		return
+	}
+	// taskCost prices task i at pu against every partner's candidate slot.
+	taskCost := func(i, pu int) float64 {
+		var s float64
+		for j := 0; j < w.Order() && j < n; j++ {
+			if j == i {
+				continue
+			}
+			if vol := w.At(i, j) + w.At(j, i); vol != 0 {
+				s += e.mach.TransferCost(pu, cand.TaskPU[j], vol)
+			}
+		}
+		return s
+	}
+	// Wholesale rule first: the per-node Algorithm 1 stage recomputes each
+	// node's internal arrangement from scratch, so a node's candidate slots
+	// are often a many-task permutation of its current ones (not just a
+	// transposition). Revert each node's within-node moves as one block when
+	// the full mapping cost is bit-identical either way and no task from
+	// another node claimed one of the freed slots.
+	byNode := map[int][]int{}
+	maxNode := -1
+	for i := 0; i < n; i++ {
+		pi := cand.TaskPU[i]
+		if !isLive[i] || pi < 0 || e.current[i] < 0 || pi == e.current[i] {
+			continue
+		}
+		node := e.mach.ClusterNodeOfPU(pi)
+		if node != e.mach.ClusterNodeOfPU(e.current[i]) {
+			continue
+		}
+		byNode[node] = append(byNode[node], i)
+		if node > maxNode {
+			maxNode = node
+		}
+	}
+	for node := 0; node <= maxNode; node++ {
+		s := byNode[node]
+		if len(s) == 0 {
+			continue
+		}
+		inS := make(map[int]bool, len(s))
+		for _, i := range s {
+			inS[i] = true
+		}
+		blocked := false
+		for k := 0; k < n && !blocked; k++ {
+			if inS[k] {
+				continue
+			}
+			for _, i := range s {
+				if cand.TaskPU[k] == e.current[i] {
+					blocked = true
+					break
+				}
+			}
+		}
+		if blocked {
+			continue
+		}
+		before := MappingCost(e.mach, w, cand.TaskPU)
+		saved := make([]int, len(s))
+		for si, i := range s {
+			saved[si] = cand.TaskPU[i]
+			cand.TaskPU[i] = e.current[i]
+		}
+		if MappingCost(e.mach, w, cand.TaskPU) != before {
+			for si, i := range s {
+				cand.TaskPU[i] = saved[si]
+			}
+			continue
+		}
+		for _, i := range s {
+			cand.ControlPU[i] = e.currentCtl[i]
+		}
+	}
+	// Every committed rewrite locks the anchored task, so the pass loop
+	// strictly shrinks the mover set and terminates even on oversubscribed
+	// machines, where tasks share PUs and an unbounded fixpoint could swap
+	// the same shared slot back and forth forever.
+	locked := make([]bool, n)
+	for changed, pass := true, 0; changed && pass < n; pass++ {
+		changed = false
+		for i := 0; i < n; i++ {
+			pi := cand.TaskPU[i]
+			if locked[i] || !isLive[i] || pi < 0 || e.current[i] < 0 || pi == e.current[i] {
+				continue
+			}
+			if e.mach.ClusterNodeOfPU(pi) != e.mach.ClusterNodeOfPU(e.current[i]) {
+				continue
+			}
+			// Swap rule: whichever live task the candidate put on i's
+			// current slot — a same-node sibling, or a task migrating in
+			// from another node — takes i's candidate slot instead, so i
+			// stays put. The incoming task pays its cross-node move either
+			// way; only the spurious intra-node relabeling disappears.
+			swapped := false
+			for j := 0; j < n; j++ {
+				if j == i || locked[j] || !isLive[j] || cand.TaskPU[j] != e.current[i] {
+					continue
+				}
+				before := taskCost(i, pi) + taskCost(j, cand.TaskPU[j])
+				cand.TaskPU[i], cand.TaskPU[j] = e.current[i], pi
+				after := taskCost(i, cand.TaskPU[i]) + taskCost(j, cand.TaskPU[j])
+				if after != before {
+					cand.TaskPU[i], cand.TaskPU[j] = pi, e.current[i]
+					continue
+				}
+				cand.ControlPU[i], cand.ControlPU[j] = cand.ControlPU[j], cand.ControlPU[i]
+				locked[i] = true
+				changed, swapped = true, true
+				break
+			}
+			if swapped {
+				continue
+			}
+			occupied := false
+			for k := 0; k < n; k++ {
+				if k != i && cand.TaskPU[k] == e.current[i] {
+					occupied = true
+					break
+				}
+			}
+			if occupied || taskCost(i, e.current[i]) != taskCost(i, pi) {
+				continue
+			}
+			cand.TaskPU[i] = e.current[i]
+			cand.ControlPU[i] = e.currentCtl[i]
+			locked[i] = true
+			changed = true
+		}
 	}
 }
 

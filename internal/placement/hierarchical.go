@@ -56,6 +56,15 @@ type Hierarchical struct {
 	// heterogeneous platform the small nodes oversubscribe and the large
 	// ones idle.
 	CapacityBlind bool
+	// TreeFabric restricts the group→node matching to the balanced-tree
+	// model of earlier revisions: shaped (torus/dragonfly) fabrics and
+	// uneven trees — which the balanced FabricTree cannot express — skip
+	// the matching and keep the positional group→node order. This is the
+	// "tree-matched" arm of ablation A13; the default routes such fabrics
+	// through the routed distance model (treematch.AssignByDistance over
+	// the fabric graph's latency matrix, with a space-filling-curve seed on
+	// tori) instead.
+	TreeFabric bool
 	// Workers bounds the worker pool that runs the per-node Algorithm 1
 	// stage: the per-node mappings are independent (each works on its own
 	// sub-matrix against the shared read-only task matrix), so on a
@@ -114,31 +123,60 @@ func (p Hierarchical) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment
 			partCaps[i] = 1
 		}
 	}
-	groups, groupMatrix, err := treematch.PartitionAcrossWeightedMatrix(m, partCaps, p.Options)
+	// On a torus headed for distance matching, declare the grid to the
+	// partitioner: the space-filling-curve chain candidate joins the
+	// portfolio. The tree-matched arm keeps the unmodified options so its
+	// partition — and everything downstream — reproduces the balanced-tree
+	// revisions exactly.
+	shape := topo.FabricShape()
+	partOpts := p.Options
+	if shape != nil && shape.Kind == "torus" && !p.TreeFabric && !p.NoFabricMatch {
+		partOpts.SFCDims = shape.Dims
+	}
+	groups, groupMatrix, err := treematch.PartitionAcrossWeightedMatrix(m, partCaps, partOpts)
 	if err != nil {
 		return nil, err
 	}
 
-	// Level 2 (multi-switch fabrics only): match the aggregated group
-	// matrix onto the fabric tree, so groups with heavy residual traffic
-	// share a rack (and pod). On a single-switch fabric every group→node
-	// assignment prices identically, and the identity keeps A9 and older
-	// results bit-stable. An uneven fabric (rack:2 node:2,3) admits no
-	// balanced abstract tree; the matching is skipped there and the
-	// partition keeps its positional (capacity-aligned) node order.
+	// Level 2 (multi-switch and shaped fabrics): match the aggregated group
+	// matrix onto the fabric, so groups with heavy residual traffic land
+	// close in the fabric's distance model. Balanced trees keep the
+	// established FabricTree matching, bit-stable with earlier revisions
+	// (groups with heavy residual traffic share a rack, and a pod). Shaped
+	// (torus/dragonfly) fabrics and uneven trees — which admit no balanced
+	// abstract tree and were previously skipped — now match through the
+	// routed distance model, with a space-filling-curve seed on tori;
+	// TreeFabric restores the old skip. On a flat single-switch fabric
+	// every group→node assignment prices identically, so the matching is
+	// skipped and the identity keeps A9 and older results bit-stable.
 	nodeOf := make([]int, len(groups))
 	for g := range nodeOf {
 		nodeOf[g] = g
 	}
-	if !p.NoFabricMatch && (topo.NumRacks() > 1 || topo.NumPods() > 1) {
-		fabricTree, ferr := treematch.FabricTree(topo)
-		if ferr != nil && !errors.Is(ferr, treematch.ErrUneven) {
-			return nil, fmt.Errorf("placement: hierarchical fabric tree: %w", ferr)
+	if !p.NoFabricMatch && (topo.NumRacks() > 1 || topo.NumPods() > 1 || shape != nil) {
+		classed := hetero && !p.CapacityBlind
+		distanceMatch := false
+		if shape != nil {
+			distanceMatch = !p.TreeFabric
+		} else {
+			fabricTree, ferr := treematch.FabricTree(topo)
+			if ferr != nil && !errors.Is(ferr, treematch.ErrUneven) {
+				return nil, fmt.Errorf("placement: hierarchical fabric tree: %w", ferr)
+			}
+			if ferr == nil {
+				assignment, err := matchGroupsToNodes(fabricTree, groupMatrix, partCaps, caps, classed, p.Options)
+				if err != nil {
+					return nil, fmt.Errorf("placement: hierarchical fabric matching: %w", err)
+				}
+				copy(nodeOf, assignment)
+			} else {
+				distanceMatch = !p.TreeFabric
+			}
 		}
-		if ferr == nil {
-			assignment, err := matchGroupsToNodes(fabricTree, groupMatrix, partCaps, caps, hetero && !p.CapacityBlind, p.Options)
+		if distanceMatch {
+			assignment, err := matchGroupsByDistance(topo, groupMatrix, partCaps, caps, classed)
 			if err != nil {
-				return nil, fmt.Errorf("placement: hierarchical fabric matching: %w", err)
+				return nil, fmt.Errorf("placement: hierarchical distance matching: %w", err)
 			}
 			copy(nodeOf, assignment)
 		}
@@ -304,6 +342,45 @@ func matchGroupsToNodes(fabricTree *treematch.Tree, groupMatrix *comm.Matrix, gr
 		return nil, err
 	}
 	return mp.Assignment, nil
+}
+
+// matchGroupsByDistance decides which cluster node each partition group runs
+// on through the routed distance model: the fabric graph's all-pairs latency
+// matrix prices every candidate, so shaped (torus/dragonfly) fabrics and
+// uneven trees — which the balanced FabricTree cannot express — get the same
+// traffic-aware group→node matching as balanced fabrics. On a homogeneous
+// torus the space-filling-curve embedding joins as a seed candidate; it wins
+// only when strictly cheaper. Heterogeneous platforms constrain the matching
+// by capacity class, exactly as matchGroupsToNodes does.
+func matchGroupsByDistance(topo *topology.Topology, groupMatrix *comm.Matrix, groupCaps, nodeCaps []int, classed bool) ([]int, error) {
+	dist := topo.FabricGraph().LatencyMatrix()
+	var entityClass, leafClass []int
+	if classed {
+		classOf := map[int]int{}
+		class := func(capacity int) int {
+			c, ok := classOf[capacity]
+			if !ok {
+				c = len(classOf)
+				classOf[capacity] = c
+			}
+			return c
+		}
+		entityClass = make([]int, len(groupCaps))
+		for g, c := range groupCaps {
+			entityClass[g] = class(c)
+		}
+		leafClass = make([]int, len(nodeCaps))
+		for n, c := range nodeCaps {
+			leafClass[n] = class(c)
+		}
+	}
+	var seeds [][]int
+	if shape := topo.FabricShape(); shape != nil && shape.Kind == "torus" && !classed {
+		if seed, err := treematch.SFCSeed(shape.Dims, groupMatrix); err == nil {
+			seeds = append(seeds, seed)
+		}
+	}
+	return treematch.AssignByDistance(dist, groupMatrix, entityClass, leafClass, seeds...)
 }
 
 // RoundRobinNodes deals tasks across the cluster nodes round-robin:

@@ -357,7 +357,11 @@ func SetContention(mach *numasim.Machine, a *Assignment, heavy []bool) {
 func SetFabricContention(mach *numasim.Machine, a *Assignment, m *comm.Matrix) {
 	nodes := mach.Topology().NumClusterNodes()
 	levels := mach.NumFabricLevels()
-	if nodes <= 1 || levels == 0 {
+	if nodes <= 1 {
+		return
+	}
+	if levels == 0 {
+		setRoutedFabricContention(mach, a, m)
 		return
 	}
 	counts := make([][]int, levels)
@@ -411,4 +415,58 @@ func SetFabricContention(mach *numasim.Machine, a *Assignment, m *comm.Matrix) {
 	for l, c := range counts {
 		mach.SetLinkStreams(l, c)
 	}
+}
+
+// setRoutedFabricContention is the shaped-fabric (torus/dragonfly) arm of
+// SetFabricContention: with no level structure to address links by, streams
+// are counted per routed edge. Every task with cross-node traffic contributes
+// one stream to each edge on the routed path to any of its partners' nodes;
+// a task with an unbound endpoint (its own, or a partner's) may stream over
+// any link and is counted on every edge, the conservative reading of the
+// tree model's roaming rule. A no-op on fabrics without a routed graph.
+func setRoutedFabricContention(mach *numasim.Machine, a *Assignment, m *comm.Matrix) {
+	g := mach.FabricGraph()
+	if g == nil {
+		return
+	}
+	counts := make([]int, g.NumEdges())
+	used := make([]bool, g.NumEdges())
+	for i := 0; i < m.Order() && i < len(a.TaskPU); i++ {
+		partnerUnbound, hasTraffic := false, false
+		for e := range used {
+			used[e] = false
+		}
+		for j := 0; j < m.Order() && j < len(a.TaskPU); j++ {
+			if i == j || m.At(i, j)+m.At(j, i) == 0 {
+				continue
+			}
+			hasTraffic = true
+			pj := a.TaskPU[j]
+			if a.TaskPU[i] < 0 || pj < 0 {
+				partnerUnbound = true
+				continue
+			}
+			ci, cj := mach.ClusterNodeOfPU(a.TaskPU[i]), mach.ClusterNodeOfPU(pj)
+			if ci == cj {
+				continue
+			}
+			for _, e := range g.PathEdges(ci, cj) {
+				used[e] = true
+			}
+		}
+		switch {
+		case !hasTraffic:
+		case a.TaskPU[i] < 0 || partnerUnbound:
+			for e := range counts {
+				counts[e]++
+			}
+		default:
+			for e, u := range used {
+				if u {
+					counts[e]++
+				}
+			}
+		}
+	}
+	mach.SetEdgeStreams(counts)
 }

@@ -31,6 +31,12 @@ import (
 // Members holds the per-node machine specs for the per-node shared-memory
 // views.
 type PlatformSpec struct {
+	// Fabric is the non-tree fabric shape when the platform leads with a
+	// torus or dragonfly tier ("torus:4x4 pack:1 core:4",
+	// "dragonfly:2,4,2{big | small}"); nil on tree fabrics. A shaped
+	// platform has no pod or rack tier — the shape is the whole fabric —
+	// and its node count is the shape's.
+	Fabric *FabricShape
 	// PodCounts lists the pods (one count; the pod tier hangs off the root).
 	// Empty when the fabric has no pod tier.
 	PodCounts []int
@@ -105,6 +111,40 @@ func ParsePlatform(spec string) (*PlatformSpec, error) {
 	}
 	p := &PlatformSpec{}
 	i := 0
+	// A leading torus/dragonfly token replaces the tree tiers wholesale: the
+	// shape fixes the node count, and the rest of the spec (or a brace block)
+	// is the member machine spec.
+	if shape, braced, serr := fabricShapeToken(tokens[0]); serr != nil {
+		return nil, serr
+	} else if shape != nil {
+		p.Fabric = shape
+		p.NodeCounts = []int{shape.Nodes()}
+		rest := strings.Join(tokens[1:], " ")
+		var members []string
+		switch {
+		case len(braced) > 0 && rest != "":
+			return nil, fmt.Errorf("topology: tokens %q after a braced %s tier (the member specs are the braces' content)", rest, shape.Kind)
+		case len(braced) > 0:
+			members = braced
+		case rest == "":
+			return nil, fmt.Errorf("topology: %s tier without a member machine spec", shape.Kind)
+		default:
+			members = []string{rest}
+		}
+		if err := p.resolveCounts(members, true); err != nil {
+			return nil, err
+		}
+		if err := p.normalizeMembers(); err != nil {
+			if len(members) == 1 && strings.Contains(members[0], ",") && p.Nodes() > 1 {
+				if split, serr := splitFusedTail(p.Nodes(), members[0]); serr == nil {
+					p.Members = split
+					return p, p.normalizeMembers()
+				}
+			}
+			return nil, err
+		}
+		return p, nil
+	}
 	// Fabric tiers, outside in: pod, rack, then the node (cluster) token.
 	fabricCounts := func(tok string) ([]int, error) {
 		counts, members, err := tokenCounts(tok)
@@ -316,7 +356,9 @@ func (p *PlatformSpec) FusedSpec() (string, error) {
 	if len(p.RackCounts) > 0 {
 		emit("rack", p.RackCounts)
 	}
-	if len(p.NodeCounts) > 0 || len(p.Members) > 1 || p.Racks() > 0 {
+	if p.Fabric != nil {
+		parts = append(parts, p.Fabric.Token())
+	} else if len(p.NodeCounts) > 0 || len(p.Members) > 1 || p.Racks() > 0 {
 		emit("cluster", p.NodeCounts)
 	} else {
 		// Single machine: the member spec is the whole topology.
@@ -464,6 +506,39 @@ func tokenizePlatform(spec string) ([]string, error) {
 		tokens = append(tokens, cur.String())
 	}
 	return tokens, nil
+}
+
+// fabricShapeToken parses a leading torus/dragonfly token, returning the
+// shape and any braced member list. A nil shape (with nil error) means the
+// token is not a shape tier at all.
+func fabricShapeToken(tok string) (*FabricShape, []string, error) {
+	name, val, ok := strings.Cut(tok, ":")
+	if !ok {
+		return nil, nil, nil
+	}
+	name = strings.ToLower(name)
+	if name != "torus" && name != "dragonfly" {
+		return nil, nil, nil
+	}
+	var members []string
+	if open := strings.IndexByte(val, '{'); open >= 0 {
+		if !strings.HasSuffix(val, "}") {
+			return nil, nil, fmt.Errorf("topology: malformed brace block in token %q", tok)
+		}
+		for _, m := range strings.Split(val[open+1:len(val)-1], "|") {
+			m = strings.TrimSpace(m)
+			if m == "" {
+				return nil, nil, fmt.Errorf("topology: empty member spec in token %q", tok)
+			}
+			members = append(members, m)
+		}
+		val = val[:open]
+	}
+	s, err := parseFabricShape(name, val)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, members, nil
 }
 
 // kindOfToken returns the kind a token names, or -1 when it is not a plain

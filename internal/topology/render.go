@@ -45,6 +45,58 @@ func renderObj(b *strings.Builder, o *Object, indent int) {
 	}
 }
 
+// RenderFabric returns a multi-line description of the routed fabric graph
+// of a shaped (torus/dragonfly) topology: dimensions, routing discipline,
+// per-edge attribute classes, and a worked example route. Empty on tree
+// fabrics and single machines, whose structure Render already shows.
+func (t *Topology) RenderFabric() string {
+	s := t.fabric
+	if s == nil {
+		return ""
+	}
+	g := t.FabricGraph()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fabric: %s (%d nodes, %d vertices, %d edges)\n",
+		s, g.NumNodes(), g.NumVertices(), g.NumEdges())
+	if s.Kind == "torus" {
+		b.WriteString("  routing: dimension-order (shorter wrap direction, positive on ties)\n")
+	} else {
+		b.WriteString("  routing: minimal (node, router, gateway, global link, router, node)\n")
+	}
+	// Group the edges into attribute classes, first-seen order (node links
+	// first by construction, then router and global links).
+	type edgeClass struct {
+		lat, bw float64
+		count   int
+	}
+	var classes []edgeClass
+	for _, e := range g.Edges() {
+		found := false
+		for i := range classes {
+			if classes[i].lat == e.LatencyCycles && classes[i].bw == e.BandwidthBytesPerSec {
+				classes[i].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			classes = append(classes, edgeClass{lat: e.LatencyCycles, bw: e.BandwidthBytesPerSec, count: 1})
+		}
+	}
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  links x%d: %.1f GB/s, %.0f cycles\n", c.count, c.bw/1e9, c.lat)
+	}
+	from, to := 0, g.NumNodes()-1
+	path := g.PathEdges(from, to)
+	fmt.Fprintf(&b, "  route %d -> %d:", from, to)
+	for _, e := range path {
+		ed := g.Edges()[e]
+		fmt.Fprintf(&b, " [%d-%d]", ed.A, ed.B)
+	}
+	fmt.Fprintf(&b, " (%d hops, %.0f cycles)\n", len(path), g.PathLatency(from, to))
+	return b.String()
+}
+
 // shape returns a structural signature of a subtree: kinds and arities,
 // ignoring indices (attributes are uniform per kind by construction).
 func shape(o *Object) string {

@@ -184,6 +184,18 @@ func FromSpec(spec string) (*Topology, error) {
 // between racks two NIC links plus two uplinks. A rack tier requires a
 // cluster (node) tier below it — "rack:2 core:8" is rejected, because a rack
 // of cores is not a fabric.
+//
+// A non-tree fabric is expressed with a leading torus or dragonfly tier in
+// place of the pod/rack/cluster tiers:
+//
+//	torus:4x4 pack:1 core:4        a 16-node 2-D torus
+//	torus:2x2x4 pack:1 core:4      a 16-node 3-D torus
+//	dragonfly:2,4,2 pack:1 core:4  2 groups x 4 routers x 2 nodes
+//
+// The shape's node count becomes the cluster level; transfers between the
+// nodes are priced along routed edge paths of the FabricGraph (see
+// fabricgraph.go) instead of the per-level tree walk. The shape token must
+// lead the spec and cannot be combined with pod or rack tiers.
 func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 	fields := strings.Fields(spec)
 	if len(fields) == 0 {
@@ -191,12 +203,29 @@ func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 	}
 	var levels []specLevel
 	var names []string
+	var shape *FabricShape
 	for _, f := range fields {
 		parts := strings.SplitN(f, ":", 2)
 		if len(parts) != 2 {
 			return nil, fmt.Errorf("topology: token %q is not of the form kind:count", f)
 		}
 		name := strings.ToLower(parts[0])
+		if name == "torus" || name == "dragonfly" {
+			// A non-tree fabric shape replaces the pod/rack/cluster tiers:
+			// it must lead the spec, and the node count it implies becomes
+			// the cluster level.
+			if len(levels) > 0 || shape != nil {
+				return nil, fmt.Errorf("topology: the %s fabric tier must be the first token of the spec", name)
+			}
+			s, err := parseFabricShape(name, parts[1])
+			if err != nil {
+				return nil, err
+			}
+			shape = s
+			levels = append(levels, specLevel{Cluster, []int{s.Nodes()}})
+			names = append(names, "cluster")
+			continue
+		}
 		kind, ok := kindTokens[name]
 		if !ok {
 			return nil, fmt.Errorf("topology: unknown object kind %q", parts[0])
@@ -249,7 +278,9 @@ func FromSpecAttrs(spec string, def Defaults) (*Topology, error) {
 	if err := grow(root, levels, def); err != nil {
 		return nil, err
 	}
-	t := build(root, canonicalSpec(levels))
+	t := build(root, canonicalSpecShaped(levels, shape))
+	t.fabric = shape
+	t.fabricDef = def
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -302,12 +333,23 @@ func normalize(levels []specLevel) []specLevel {
 
 // canonicalSpec renders the normalized levels back into a spec string.
 func canonicalSpec(levels []specLevel) string {
+	return canonicalSpecShaped(levels, nil)
+}
+
+// canonicalSpecShaped is canonicalSpec with the cluster level rendered as
+// its fabric-shape token ("torus:4x4") when the fabric is non-tree, so
+// shaped specs round-trip through their normalized form.
+func canonicalSpecShaped(levels []specLevel, shape *FabricShape) string {
 	names := map[Kind]string{
 		Pod: "pod", Rack: "rack", Cluster: "cluster", Group: "group", Package: "pack",
 		NUMANode: "numa", L3: "l3", L2: "l2", L1: "l1", Core: "core", PU: "pu",
 	}
 	parts := make([]string, len(levels))
 	for i, l := range levels {
+		if shape != nil && l.kind == Cluster {
+			parts[i] = shape.Token()
+			continue
+		}
 		cs := make([]string, len(l.counts))
 		for j, c := range l.counts {
 			cs[j] = strconv.Itoa(c)

@@ -169,6 +169,17 @@ type Topology struct {
 	pods     []*Object
 	spec     string // the normalized spec the topology was built from
 
+	// fabric is the non-tree fabric shape (torus/dragonfly) the cluster
+	// tier was declared with, nil for tree fabrics; fabricDef keeps the
+	// attribute defaults the fabric graph's edges are priced with.
+	fabric    *FabricShape
+	fabricDef Defaults
+
+	// fabricOnce/fabricGraph memoize FabricGraph: the routed-edge view of
+	// the fabric, built on first use and shared between callers.
+	fabricOnce  sync.Once
+	fabricGraph *FabricGraph
+
 	// latOnce/latMatrix memoize LatencyMatrix: the topology tree is
 	// immutable after construction, so the O(PUs²) matrix is built at most
 	// once and shared between callers.
@@ -337,8 +348,12 @@ func (t *Topology) SamePod(a, b *Object) bool {
 // every topology level from the cluster tier up to just below the machine
 // root. A message between two cluster nodes traverses, at each level where
 // their ancestors differ, both endpoint links of that level. Nil on a
-// single-machine topology.
+// single-machine topology, and nil on a non-tree fabric (torus/dragonfly),
+// whose links are per-edge rather than per-level — use FabricGraph there.
 func (t *Topology) FabricLevels() [][]*Object {
+	if t.fabric != nil {
+		return nil
+	}
 	d := t.DepthOf(Cluster)
 	if d < 0 {
 		return nil

@@ -1,0 +1,153 @@
+package treematch
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/topology"
+)
+
+// treeDistanceMatrix lowers a balanced tree's hop distances into the
+// distance-model form.
+func treeDistanceMatrix(tree *Tree) [][]float64 {
+	n := tree.Leaves()
+	dist := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		dist[a] = make([]float64, n)
+		for b := 0; b < n; b++ {
+			dist[a][b] = float64(tree.LeafDistance(a, b))
+		}
+	}
+	return dist
+}
+
+// ringMatrix is a ring of heavy neighbour traffic plus a light long pair.
+func ringMatrix(t *testing.T, n int) *comm.Matrix {
+	t.Helper()
+	m := comm.New(n)
+	for i := 0; i < n; i++ {
+		m.Add(i, (i+1)%n, 100)
+	}
+	m.Add(0, n/2, 1)
+	return m
+}
+
+// TestAssignByDistanceMatchesClassedOnTrees pins the bit-stability
+// guarantee: under a tree-derived distance model, the distance matcher and
+// the classed tree matcher produce identical assignments on balanced
+// fabrics, classes present or not.
+func TestAssignByDistanceMatchesClassedOnTrees(t *testing.T) {
+	for _, spec := range []string{
+		"cluster:4 pack:1 core:2",
+		"rack:2 node:4 pack:1 core:2",
+		"pod:2 rack:2 node:2 pack:1 core:2",
+	} {
+		topo, err := topology.FromSpec(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		tree, err := FabricTree(topo)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		n := tree.Leaves()
+		m := ringMatrix(t, n)
+		classes := make([]int, n)
+		for i := range classes {
+			classes[i] = i % 2
+		}
+		for _, cl := range [][]int{nil, classes} {
+			zero := cl
+			if zero == nil {
+				zero = make([]int, n)
+			}
+			fromTree, err := AssignClassed(tree, m, zero, zero)
+			if err != nil {
+				t.Fatalf("%s: AssignClassed: %v", spec, err)
+			}
+			fromDist, err := AssignByDistance(treeDistanceMatrix(tree), m, cl, cl)
+			if err != nil {
+				t.Fatalf("%s: AssignByDistance: %v", spec, err)
+			}
+			if !reflect.DeepEqual(fromTree, fromDist) {
+				t.Errorf("%s (classes=%v): tree %v != distance %v", spec, cl != nil, fromTree, fromDist)
+			}
+		}
+	}
+}
+
+// TestAssignByDistanceOnTorus checks that the distance matcher beats round
+// robin under a routed torus distance model with ring traffic.
+func TestAssignByDistanceOnTorus(t *testing.T) {
+	topo, err := topology.FromSpec("torus:4x4 pack:1 core:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := topo.FabricGraph().LatencyMatrix()
+	n := len(dist)
+	m := ringMatrix(t, n)
+	seed, err := SFCSeed([]int{4, 4}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AssignByDistance(dist, m, nil, nil, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	if c, rr := DistanceCost(dist, m, got), DistanceCost(dist, m, identity); c > rr {
+		t.Errorf("matched cost %v worse than identity %v", c, rr)
+	}
+	seen := make([]bool, n)
+	for _, l := range got {
+		if l < 0 || l >= n || seen[l] {
+			t.Fatalf("assignment %v is not a permutation", got)
+		}
+		seen[l] = true
+	}
+}
+
+func TestAssignByDistanceUneven(t *testing.T) {
+	// rack:2 node:2,3 — the uneven shape FabricTree refuses (ErrUneven);
+	// the distance model handles it through the routed tree graph. The
+	// heavy pair must land inside one rack, not across the uplink.
+	topo, err := topology.FromSpec("rack:2 node:2,3 pack:1 core:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FabricTree(topo); err == nil {
+		t.Fatal("FabricTree accepted an uneven fabric; the distance path is untested")
+	}
+	g := topo.FabricGraph()
+	dist := g.LatencyMatrix()
+	m := comm.New(5)
+	m.Add(0, 1, 1000) // heavy pair
+	m.Add(2, 3, 1)
+	got, err := AssignByDistance(dist, m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[got[0]][got[1]] != dist[0][1] {
+		t.Errorf("heavy pair placed at distance %v, want intra-rack %v (assignment %v)",
+			dist[got[0]][got[1]], dist[0][1], got)
+	}
+}
+
+func TestAssignByDistanceSeedValidation(t *testing.T) {
+	dist := [][]float64{{0, 1}, {1, 0}}
+	m := comm.New(2)
+	m.Add(0, 1, 5)
+	if _, err := AssignByDistance(dist, m, nil, nil, []int{0}); err == nil {
+		t.Error("short seed accepted")
+	}
+	if _, err := AssignByDistance(dist, m, nil, nil, []int{0, 0}); err == nil {
+		t.Error("non-permutation seed accepted")
+	}
+	if _, err := AssignByDistance(dist, m, []int{0, 1}, []int{0, 1}, []int{1, 0}); err == nil {
+		t.Error("class-violating seed accepted")
+	}
+}

@@ -222,6 +222,15 @@ func equalPartitionCandidates(work *comm.Matrix, orig, k, per int, opt Options) 
 			return refine(groups), nil
 		})
 	}
+	// The chain candidate for grid (torus) fabrics: consecutive runs of the
+	// affinity chain, the shape a space-filling-curve embedding wants.
+	// Appended after the established candidates so ties keep their winners;
+	// gated on SFCDims so every non-grid portfolio stays unchanged.
+	if k > 1 && per > 1 && sfcCellCount(opt.SFCDims) == k {
+		cands = append(cands, func() ([][]int, error) {
+			return refine(chainPartition(work, k, per)), nil
+		})
+	}
 	return cands
 }
 
