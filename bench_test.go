@@ -277,6 +277,40 @@ func BenchmarkAblationTorus(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationFault is ablation A14: the rack-skewed stencil with a
+// mid-run correlated node kill + uplink degrade, under the four fault-
+// handling arms — on two platform shapes and two scheduler seeds, mirroring
+// the acceptance property of the test suite.
+func BenchmarkAblationFault(b *testing.B) {
+	for _, shape := range []struct {
+		name string
+		cfg  experiment.FaultConfig
+	}{
+		{"2x4x8", experiment.FaultConfig{}},
+		{"2x6x8", experiment.FaultConfig{NodesPerRack: 6}},
+	} {
+		for _, seed := range []int64{7, 42} {
+			b.Run(fmt.Sprintf("%s/seed=%d", shape.name, seed), func(b *testing.B) {
+				cfg := shape.cfg
+				cfg.Seed = seed
+				var rows []experiment.AblationRow
+				var err error
+				for i := 0; i < b.N; i++ {
+					rows, err = experiment.AblationFault(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				// The A14 acceptance property, enforced at bench time too:
+				// fault-aware strictly beats fault-blind, which strictly beats
+				// static-with-respawn, and the spread-hardened initial
+				// placement also strictly beats static-with-respawn.
+				reportAndAssert(b, rows, "fault")
+			})
+		}
+	}
+}
+
 // reportAndAssert emits every row's simulated seconds as a custom metric and
 // fails the benchmark when an asserted ordering of the ablation is violated
 // — the exact same relations the test suite and cmd/ablate -json check

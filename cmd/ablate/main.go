@@ -16,6 +16,7 @@
 //	ablate -exp hetero      # heterogeneous pod-tier platform (A11)
 //	ablate -exp shift       # cross-fabric adaptive migration (A12)
 //	ablate -exp torus       # torus halo exchange, routed fabric (A13)
+//	ablate -exp fault       # fault injection, mid-run resilience (A14)
 //	ablate -exp scale       # placement-latency benchmark tier (S1)
 //	ablate -full            # paper-scale matrix and iterations
 //
@@ -24,6 +25,10 @@
 // wall-clock latency of the placement pipeline itself on datacenter-scale
 // grids (tasks × nodes set by -scale-tasks/-scale-nodes), so it is excluded
 // from "all" and must be selected by name.
+// The fault ablation's failure schedule can be overridden from the command
+// line: -fault-kill "node@epoch", -fault-degrade "level:link:factor@epoch"
+// and -fault-sever "level:link@epoch" each accept a comma-separated list,
+// and together they replace the default correlated kill+degrade scenario.
 // With -json the results are emitted as one machine-readable JSON document
 // on stdout — per-ablation rows with simulated seconds and cycle counts,
 // plus the asserted orderings and their verdicts — and the exit status is
@@ -42,20 +47,24 @@ import (
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/topology"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, shift, torus, scale, all (a comma-separated list selects several; scale is excluded from all)")
-		full       = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations, 192 cores; overrides -rows/-cols/-iters/-cores)")
-		jsonF      = flag.Bool("json", false, "emit one machine-readable JSON report on stdout (rows, cycle counts, ordering verdicts); exit non-zero on any ordering violation")
-		seed       = flag.Int64("seed", 7, "simulated OS scheduler seed")
-		rows       = flag.Int("rows", 4096, "matrix rows (reduced scale)")
-		cols       = flag.Int("cols", 4096, "matrix columns (reduced scale)")
-		iters      = flag.Int("iters", 10, "iterations (reduced scale)")
-		cores      = flag.Int("cores", 48, "number of cores (reduced scale)")
-		scaleTasks = flag.String("scale-tasks", "", "comma-separated task counts for -exp scale (default 10000,100000)")
-		scaleNodes = flag.String("scale-nodes", "", "comma-separated cluster-node counts for -exp scale (default 100,1000,10000)")
+		exp          = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, shift, torus, fault, scale, all (a comma-separated list selects several; scale is excluded from all)")
+		full         = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations, 192 cores; overrides -rows/-cols/-iters/-cores)")
+		jsonF        = flag.Bool("json", false, "emit one machine-readable JSON report on stdout (rows, cycle counts, ordering verdicts); exit non-zero on any ordering violation")
+		seed         = flag.Int64("seed", 7, "simulated OS scheduler seed")
+		rows         = flag.Int("rows", 4096, "matrix rows (reduced scale)")
+		cols         = flag.Int("cols", 4096, "matrix columns (reduced scale)")
+		iters        = flag.Int("iters", 10, "iterations (reduced scale)")
+		cores        = flag.Int("cores", 48, "number of cores (reduced scale)")
+		scaleTasks   = flag.String("scale-tasks", "", "comma-separated task counts for -exp scale (default 10000,100000)")
+		scaleNodes   = flag.String("scale-nodes", "", "comma-separated cluster-node counts for -exp scale (default 100,1000,10000)")
+		faultKill    = flag.String("fault-kill", "", "comma-separated \"node@epoch\" node kills for -exp fault (any fault flag overrides the default correlated failure)")
+		faultDegrade = flag.String("fault-degrade", "", "comma-separated \"level:link:factor@epoch\" fabric-link degrades for -exp fault")
+		faultSever   = flag.String("fault-sever", "", "comma-separated \"level:link@epoch\" fabric-link severs for -exp fault")
 	)
 	flag.Parse()
 
@@ -70,6 +79,10 @@ func main() {
 	}
 	if scaleOverrides.nodes, err = parseIntList(*scaleNodes); err != nil {
 		fmt.Fprintf(os.Stderr, "ablate: -scale-nodes: %v\n", err)
+		os.Exit(1)
+	}
+	if faultOverrides.events, err = parseFaultEvents(*faultKill, *faultDegrade, *faultSever); err != nil {
+		fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
 		os.Exit(1)
 	}
 	if err := run(os.Stdout, cfg, *exp, *jsonF); err != nil {
@@ -114,6 +127,11 @@ func ablations() []ablation {
 		{"torus", "A13", "A13: torus halo exchange on the routed fabric (sfc vs tree-matched vs rr)", func(c experiment.Config) ([]experiment.AblationRow, error) {
 			return experiment.AblationTorus(experiment.TorusConfigFrom(c))
 		}},
+		{"fault", "A14", "A14: fault injection and mid-run resilience (fault-aware vs spread vs fault-blind vs static-respawn)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			fc := experiment.FaultConfigFrom(c)
+			fc.Events = faultOverrides.events
+			return experiment.AblationFault(fc)
+		}},
 	}
 }
 
@@ -133,6 +151,100 @@ func extraAblations() []ablation {
 			return experiment.AblationScale(sc)
 		}},
 	}
+}
+
+// faultOverrides carries the parsed -fault-kill/-fault-degrade/-fault-sever
+// events to the fault ablation; nil keeps the experiment's built-in
+// correlated kill+degrade scenario.
+var faultOverrides struct{ events []experiment.FaultEventSpec }
+
+// parseFaultEvents parses the fault-schedule flags into experiment
+// coordinates. The flag layer enforces the entry syntax (including the
+// 1-based epoch); whether the named nodes, links and epochs exist on the
+// built platform — and whether the entries conflict — is checked by the
+// fault experiment itself, after the shape is known. All three flags empty
+// yields nil, selecting the default failure scenario.
+func parseFaultEvents(kill, degrade, sever string) ([]experiment.FaultEventSpec, error) {
+	var out []experiment.FaultEventSpec
+	for _, entry := range splitList(kill) {
+		parts, epoch, err := parseFaultEntry("-fault-kill", entry, 1)
+		if err != nil {
+			return nil, err
+		}
+		node, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("-fault-kill: bad node %q in %q", parts[0], entry)
+		}
+		out = append(out, experiment.FaultEventSpec{
+			Epoch: epoch, Kind: topology.FaultKillNode, Node: node,
+		})
+	}
+	for _, entry := range splitList(degrade) {
+		parts, epoch, err := parseFaultEntry("-fault-degrade", entry, 3)
+		if err != nil {
+			return nil, err
+		}
+		level, err1 := strconv.Atoi(parts[0])
+		link, err2 := strconv.Atoi(parts[1])
+		factor, err3 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("-fault-degrade: bad level:link:factor in %q", entry)
+		}
+		out = append(out, experiment.FaultEventSpec{
+			Epoch: epoch, Kind: topology.FaultDegradeEdge, Level: level, Link: link, Factor: factor,
+		})
+	}
+	for _, entry := range splitList(sever) {
+		parts, epoch, err := parseFaultEntry("-fault-sever", entry, 2)
+		if err != nil {
+			return nil, err
+		}
+		level, err1 := strconv.Atoi(parts[0])
+		link, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("-fault-sever: bad level:link in %q", entry)
+		}
+		out = append(out, experiment.FaultEventSpec{
+			Epoch: epoch, Kind: topology.FaultSeverEdge, Level: level, Link: link,
+		})
+	}
+	return out, nil
+}
+
+// parseFaultEntry splits one "body@epoch" fault-flag entry into the
+// colon-separated body fields (exactly wantParts of them) and the epoch.
+func parseFaultEntry(flagName, entry string, wantParts int) ([]string, int, error) {
+	body, epochStr, ok := strings.Cut(entry, "@")
+	if !ok {
+		return nil, 0, fmt.Errorf("%s: entry %q has no @epoch", flagName, entry)
+	}
+	epoch, err := strconv.Atoi(epochStr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: bad epoch %q in %q", flagName, epochStr, entry)
+	}
+	if epoch < 1 {
+		return nil, 0, fmt.Errorf("%s: epoch %d in %q is not 1-based", flagName, epoch, entry)
+	}
+	parts := strings.Split(body, ":")
+	if len(parts) != wantParts {
+		return nil, 0, fmt.Errorf("%s: entry %q has %d field(s), want %d", flagName, entry, len(parts), wantParts)
+	}
+	return parts, epoch, nil
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace and
+// dropping empty items; an empty value yields nil.
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // parseIntList parses a comma-separated list of positive integers; an empty
@@ -157,7 +269,7 @@ func parseIntList(s string) ([]int, error) {
 
 // selectAblations resolves a -exp value ("all", one name, or a
 // comma-separated list) against the suite, preserving report order. "all"
-// selects the thirteen ablations; the benchmark tiers (extraAblations) only
+// selects the fourteen ablations; the benchmark tiers (extraAblations) only
 // run when named explicitly.
 func selectAblations(exp string) ([]ablation, error) {
 	all := ablations()

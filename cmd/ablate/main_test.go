@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/experiment"
+	"repro/internal/topology"
 )
 
 func TestBuildConfigValidation(t *testing.T) {
@@ -46,8 +47,8 @@ func TestSelectAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 13 || all[0].id != "A1" || all[12].id != "A13" {
-		t.Fatalf("all selects %d ablations (%+v), want A1..A13", len(all), all)
+	if len(all) != 14 || all[0].id != "A1" || all[13].id != "A14" {
+		t.Fatalf("all selects %d ablations (%+v), want A1..A14", len(all), all)
 	}
 	list, err := selectAblations("shift,adaptive")
 	if err != nil {
@@ -111,6 +112,104 @@ func TestRunJSONReport(t *testing.T) {
 		if !o.OK {
 			t.Errorf("asserted ordering %q violated in the reduced-shape run", o.Relation)
 		}
+	}
+}
+
+// TestParseFaultEvents drives the fault-schedule flag syntax through its
+// edge cases: every malformed entry must produce a clean flag-layer error
+// (never a panic or a silently dropped entry), and well-formed entries must
+// land in experiment coordinates exactly.
+func TestParseFaultEvents(t *testing.T) {
+	cases := []struct {
+		name                 string
+		kill, degrade, sever string
+		want                 []experiment.FaultEventSpec
+		wantErr              string
+	}{
+		{name: "all empty", want: nil},
+		{name: "one kill", kill: "4@2", want: []experiment.FaultEventSpec{
+			{Epoch: 2, Kind: topology.FaultKillNode, Node: 4},
+		}},
+		{name: "kill list with spaces", kill: " 4@2 , 5@3 ", want: []experiment.FaultEventSpec{
+			{Epoch: 2, Kind: topology.FaultKillNode, Node: 4},
+			{Epoch: 3, Kind: topology.FaultKillNode, Node: 5},
+		}},
+		{name: "degrade", degrade: "1:0:0.5@2", want: []experiment.FaultEventSpec{
+			{Epoch: 2, Kind: topology.FaultDegradeEdge, Level: 1, Link: 0, Factor: 0.5},
+		}},
+		{name: "sever", sever: "0:3@4", want: []experiment.FaultEventSpec{
+			{Epoch: 4, Kind: topology.FaultSeverEdge, Level: 0, Link: 3},
+		}},
+		{name: "kill and degrade combine", kill: "4@2", degrade: "1:1:0.25@2", want: []experiment.FaultEventSpec{
+			{Epoch: 2, Kind: topology.FaultKillNode, Node: 4},
+			{Epoch: 2, Kind: topology.FaultDegradeEdge, Level: 1, Link: 1, Factor: 0.25},
+		}},
+		{name: "kill without epoch", kill: "4", wantErr: "no @epoch"},
+		{name: "kill bad node", kill: "x@2", wantErr: "bad node"},
+		{name: "kill bad epoch", kill: "4@x", wantErr: "bad epoch"},
+		{name: "kill epoch zero", kill: "4@0", wantErr: "not 1-based"},
+		{name: "kill negative epoch", kill: "4@-1", wantErr: "not 1-based"},
+		{name: "kill too many fields", kill: "4:1@2", wantErr: "want 1"},
+		{name: "degrade missing factor", degrade: "1:0@2", wantErr: "want 3"},
+		{name: "degrade bad factor", degrade: "1:0:x@2", wantErr: "bad level:link:factor"},
+		{name: "sever missing link", sever: "0@1", wantErr: "want 2"},
+		{name: "sever bad link", sever: "0:x@1", wantErr: "bad level:link"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseFaultEvents(tc.kill, tc.degrade, tc.sever)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("got %v / err %v, want error containing %q", got, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("parsed %+v, want %+v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("event %d = %+v, want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRunFaultSemanticErrors pins that syntactically valid fault flags whose
+// entries cannot apply to the built platform fail with a clean error from
+// the experiment layer — an unknown node id, an epoch beyond the run, and
+// two conflicting events on one link at one epoch.
+func TestRunFaultSemanticErrors(t *testing.T) {
+	cfg := experiment.Config{Rows: 1024, Cols: 1024, Iters: 4, Cores: 16, Seed: 42}
+	cases := []struct {
+		name                 string
+		kill, degrade, sever string
+		wantErr              string
+	}{
+		{name: "unknown node", kill: "99@1", wantErr: "unknown cluster node"},
+		{name: "epoch beyond run", kill: "4@50", wantErr: "beyond the run"},
+		{name: "degrade factor out of range", degrade: "1:0:1.5@1", wantErr: "outside (0,1)"},
+		{name: "unknown fabric level", sever: "9:0@1", wantErr: "fabric level"},
+		{name: "conflicting events", degrade: "1:0:0.5@1", sever: "1:0@1", wantErr: "conflicting"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			events, err := parseFaultEvents(tc.kill, tc.degrade, tc.sever)
+			if err != nil {
+				t.Fatalf("flag layer rejected %q/%q/%q: %v", tc.kill, tc.degrade, tc.sever, err)
+			}
+			faultOverrides.events = events
+			defer func() { faultOverrides.events = nil }()
+			var buf bytes.Buffer
+			err = run(&buf, cfg, "fault", false)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run: got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,395 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/numasim"
+	"repro/internal/orwl"
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+// The fault experiment (A14) is the resilience sibling of the phase-shift
+// scenario (A12): the same rack-skewed stencil as A10, but what changes
+// mid-run is the platform, not the pattern. At 2/5 of the run one node of
+// rack 1 dies and its rack uplink degrades (the correlated half-failure of a
+// real incident), so the runtime must evacuate the dead node's tasks into
+// surviving capacity and keep going on a degraded fabric. The arms differ in
+// how they pick the refuge and whether they keep adapting: static-with-
+// respawn deals the orphans round-robin and never revisits anything,
+// fault-blind evacuates first-fit and keeps the candidate loop alive, and
+// fault-aware steers the orphaned block next to its heaviest surviving
+// partners under the degraded prices. The spread arm additionally hardens
+// the *initial* placement: Hierarchical.SpreadDomains forces the heaviest-
+// coupled block pair onto different racks up front, trading a little
+// locality for blast-radius isolation.
+
+// FaultEventSpec is one scheduled platform failure in experiment
+// coordinates: a kill names a cluster node, an edge fault names a fabric
+// tree level and link index (resolved to a fabric-graph edge id by
+// BuildFaultSchedule, so configurations stay readable across platform
+// shapes).
+type FaultEventSpec struct {
+	// Epoch is the 1-based adaptive epoch at which the failure strikes.
+	Epoch int
+	// Kind is the failure type (kill node, degrade edge, sever edge).
+	Kind topology.FaultKind
+	// Node is the cluster node to kill (FaultKillNode only).
+	Node int
+	// Level and Link name the fabric edge for edge faults: level 0 holds the
+	// per-node NIC links, level 1 the per-rack uplinks.
+	Level, Link int
+	// Factor is the remaining bandwidth fraction of a degrade, in (0,1).
+	Factor float64
+}
+
+// FaultConfig parameterizes one fault-injection run.
+type FaultConfig struct {
+	// Racks, NodesPerRack, CoresPerNode, CoresPerSocket shape the platform
+	// exactly as in the A10 rack scenario (defaults 2, 4, 8, 4). The default
+	// rack is wider than A10's because a 2-node rack is degenerate for fault
+	// handling: with only 3 survivors every refuge choice doubles up the same
+	// way, and the arms cannot separate.
+	Racks, NodesPerRack, CoresPerNode, CoresPerSocket int
+	// Iters is the stencil iteration count (default 30) and EpochIters the
+	// re-placement interval (default 3).
+	Iters, EpochIters int
+	// BlockBytes, HaloBytes, PairBytes, LinkBytes are the A10 stencil
+	// volumes (defaults 1 MiB, 256 KiB, 320 KiB, 32 KiB).
+	BlockBytes                      int64
+	HaloBytes, PairBytes, LinkBytes float64
+	// KillNode is the cluster node that dies (default: node NodesPerRack,
+	// the first node of rack 1; -1 disables the default failure so only
+	// Events apply). KillEpoch is the 1-based epoch it dies at (default:
+	// the epoch closest to 2/5 of the run, matching A12's shift point).
+	KillNode, KillEpoch int
+	// DegradeFactor is the remaining bandwidth of the killed node's rack
+	// uplink after the correlated degrade (default 0.5; negative disables
+	// the degrade half of the default failure).
+	DegradeFactor float64
+	// Events overrides the default kill+degrade schedule entirely when
+	// non-nil (experiment coordinates; see FaultEventSpec).
+	Events []FaultEventSpec
+	// Hysteresis and WindowDecay tune the adaptive engine.
+	Hysteresis, WindowDecay float64
+	// Fabric overrides the interconnect parameters, as in RackConfig.
+	Fabric numasim.Fabric
+	// Seed drives the simulated OS scheduler.
+	Seed int64
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.Racks == 0 {
+		c.Racks = 2
+	}
+	if c.NodesPerRack == 0 {
+		c.NodesPerRack = 4
+	}
+	if c.CoresPerNode == 0 {
+		c.CoresPerNode = 8
+	}
+	if c.CoresPerSocket == 0 {
+		c.CoresPerSocket = 4
+	}
+	if c.Iters == 0 {
+		c.Iters = 30
+	}
+	if c.EpochIters == 0 {
+		c.EpochIters = 3
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 1 << 20
+	}
+	if c.HaloBytes == 0 {
+		c.HaloBytes = 256 << 10
+	}
+	if c.PairBytes == 0 {
+		c.PairBytes = 320 << 10
+	}
+	if c.LinkBytes == 0 {
+		c.LinkBytes = 32 << 10
+	}
+	if c.KillNode == 0 {
+		// The first node of rack 1: the kill orphans a whole block and the
+		// correlated uplink degrade punishes evacuating it across racks.
+		c.KillNode = c.NodesPerRack
+	}
+	if c.KillEpoch == 0 {
+		// The failure lands at 2/5 of the run — the A12 shift point — so the
+		// degraded phase dominates and recovery quality decides the ranking.
+		c.KillEpoch = c.Iters / c.EpochIters * 2 / 5
+		if c.KillEpoch < 1 {
+			c.KillEpoch = 1
+		}
+	}
+	if c.DegradeFactor == 0 {
+		c.DegradeFactor = 0.5
+	}
+	return c
+}
+
+// rackConfig converts to the A10 configuration that builds the platform and
+// the stencil: A14 reuses both, only the fault schedule is new.
+func (c FaultConfig) rackConfig() RackConfig {
+	return RackConfig{
+		Racks:          c.Racks,
+		NodesPerRack:   c.NodesPerRack,
+		CoresPerNode:   c.CoresPerNode,
+		CoresPerSocket: c.CoresPerSocket,
+		Iters:          c.Iters,
+		BlockBytes:     c.BlockBytes,
+		HaloBytes:      c.HaloBytes,
+		PairBytes:      c.PairBytes,
+		LinkBytes:      c.LinkBytes,
+		Fabric:         c.Fabric,
+		Seed:           c.Seed,
+	}
+}
+
+// effectiveEvents returns the fault schedule in experiment coordinates: the
+// explicit Events override when set, else the default correlated failure —
+// KillNode dies at KillEpoch and its rack's uplink drops to DegradeFactor.
+func (c FaultConfig) effectiveEvents() []FaultEventSpec {
+	if c.Events != nil {
+		return c.Events
+	}
+	if c.KillNode < 0 {
+		return nil
+	}
+	events := []FaultEventSpec{
+		{Epoch: c.KillEpoch, Kind: topology.FaultKillNode, Node: c.KillNode},
+	}
+	if c.DegradeFactor > 0 {
+		events = append(events, FaultEventSpec{
+			Epoch: c.KillEpoch, Kind: topology.FaultDegradeEdge,
+			Level: 1, Link: c.KillNode / c.NodesPerRack, Factor: c.DegradeFactor,
+		})
+	}
+	return events
+}
+
+// Validate rejects configurations the fault pipeline cannot run.
+func (c FaultConfig) Validate() error {
+	d := c.withDefaults()
+	if err := d.rackConfig().Validate(); err != nil {
+		return err
+	}
+	if d.EpochIters < 1 {
+		return fmt.Errorf("experiment: epoch interval %d must be positive", d.EpochIters)
+	}
+	nodes := d.Racks * d.NodesPerRack
+	epochs := d.Iters / d.EpochIters
+	for _, ev := range d.effectiveEvents() {
+		if ev.Epoch < 1 {
+			return fmt.Errorf("experiment: fault epoch %d is not 1-based", ev.Epoch)
+		}
+		if ev.Epoch > epochs {
+			return fmt.Errorf("experiment: fault epoch %d beyond the run (%d iterations / %d per epoch = %d epochs)",
+				ev.Epoch, d.Iters, d.EpochIters, epochs)
+		}
+		switch ev.Kind {
+		case topology.FaultKillNode:
+			if ev.Node < 0 || ev.Node >= nodes {
+				return fmt.Errorf("experiment: fault kills unknown cluster node %d (have %d)", ev.Node, nodes)
+			}
+		case topology.FaultDegradeEdge:
+			if !(ev.Factor > 0 && ev.Factor < 1) {
+				return fmt.Errorf("experiment: degrade factor %v outside (0,1)", ev.Factor)
+			}
+		case topology.FaultSeverEdge:
+			// Edge coordinates are resolved (and range-checked) against the
+			// built platform by BuildFaultSchedule.
+		default:
+			return fmt.Errorf("experiment: unknown fault kind %d", ev.Kind)
+		}
+	}
+	return nil
+}
+
+// BuildFaultSchedule resolves experiment-coordinate fault specs against a
+// built platform topology: edge faults name a fabric tree (level, link) pair
+// and resolve to the graph's edge id. The resulting schedule is validated
+// against the topology, so conflicting or impossible events fail here, not
+// mid-run.
+func BuildFaultSchedule(topo *topology.Topology, specs []FaultEventSpec) (*topology.FaultSchedule, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	g := topo.FabricGraph()
+	if g == nil {
+		return nil, fmt.Errorf("experiment: fault schedule needs a multi-node fabric")
+	}
+	s := &topology.FaultSchedule{}
+	for _, spec := range specs {
+		ev := topology.FaultEvent{Epoch: spec.Epoch, Kind: spec.Kind, Node: spec.Node, Factor: spec.Factor}
+		if spec.Kind == topology.FaultDegradeEdge || spec.Kind == topology.FaultSeverEdge {
+			if spec.Level < 0 || spec.Level >= g.NumLevels() {
+				return nil, fmt.Errorf("experiment: fault names fabric level %d (have %d)", spec.Level, g.NumLevels())
+			}
+			links := g.LevelEdges(spec.Level)
+			if spec.Link < 0 || spec.Link >= len(links) {
+				return nil, fmt.Errorf("experiment: fault names link %d of fabric level %d (have %d)",
+					spec.Link, spec.Level, len(links))
+			}
+			ev.Edge = links[spec.Link]
+		}
+		s.Events = append(s.Events, ev)
+	}
+	if err := s.Validate(topo); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// FaultModes lists the arms of the fault ablation in report order: the
+// fault-aware adaptive engine first (the speedup base), then the spread-
+// hardened initial placement, the fault-blind engine, and the static-with-
+// respawn baseline.
+func FaultModes() []string {
+	return []string{"fault-aware", "spread", "fault-blind", "static-respawn"}
+}
+
+// FaultResult reports one fault-injection run.
+type FaultResult struct {
+	Mode    string
+	Seconds float64
+	// WallSeconds is the real time the whole arm took (platform build,
+	// placement, simulated run including the mid-run evacuation): the
+	// bench-pipeline gate against a complexity blowup in the fault path.
+	WallSeconds float64
+	// Stats is the adaptive engine's decision record, including the fault
+	// epoch count, the forced evacuations and their modeled bill.
+	Stats placement.AdaptiveStats
+}
+
+// String renders a one-line summary.
+func (r FaultResult) String() string {
+	return fmt.Sprintf("%-15s time=%8.3fs faults=%d evac=%d rebinds=%d cross-rack=%d",
+		r.Mode, r.Seconds, r.Stats.FaultEpochs, r.Stats.Evacuations,
+		r.Stats.Rebinds, r.Stats.CrossRackRebinds)
+}
+
+// faultArm returns the initial placement policy and FaultMode of one arm.
+func faultArm(mode string) (base placement.Policy, fm placement.FaultMode, err error) {
+	switch mode {
+	case "fault-aware":
+		return placement.Hierarchical{}, placement.FaultAware, nil
+	case "spread":
+		return placement.Hierarchical{SpreadDomains: true}, placement.FaultAware, nil
+	case "fault-blind":
+		return placement.Hierarchical{}, placement.FaultBlind, nil
+	case "static-respawn":
+		return placement.Hierarchical{}, placement.FaultRespawn, nil
+	default:
+		return nil, 0, fmt.Errorf("experiment: unknown fault mode %q", mode)
+	}
+}
+
+// RunFault executes the rack-skewed stencil under one fault-handling mode:
+//
+//   - "fault-aware": the adaptive engine evacuates the dead node's tasks
+//     next to their heaviest surviving partners under the degraded fabric
+//     prices, and keeps adapting afterwards;
+//   - "spread": fault-aware on top of a SpreadDomains initial placement
+//     (the critical block pair starts rack-separated);
+//   - "fault-blind": the engine evacuates first-fit in node order, then
+//     keeps adapting;
+//   - "static-respawn": the one-shot placement with forced round-robin
+//     respawn of the orphans — no adaptation at all.
+func RunFault(mode string, cfg FaultConfig) (FaultResult, error) {
+	start := time.Now()
+	if err := cfg.Validate(); err != nil {
+		return FaultResult{}, err
+	}
+	cfg = cfg.withDefaults()
+	base, fm, err := faultArm(mode)
+	if err != nil {
+		return FaultResult{}, err
+	}
+	cluster, err := RackCluster(cfg.rackConfig())
+	if err != nil {
+		return FaultResult{}, err
+	}
+	mach := cluster.Machine()
+	schedule, err := BuildFaultSchedule(mach.Topology(), cfg.effectiveEvents())
+	if err != nil {
+		return FaultResult{}, err
+	}
+	rt := orwl.NewRuntime(orwl.Options{Machine: mach, Seed: cfg.Seed})
+	if err := buildRackStencil(rt, cfg.rackConfig()); err != nil {
+		return FaultResult{}, err
+	}
+	eng, err := placement.PlaceAdaptive(rt, placement.AdaptiveOptions{
+		Base:        base,
+		Candidate:   placement.Hierarchical{},
+		EpochIters:  cfg.EpochIters,
+		Hysteresis:  cfg.Hysteresis,
+		WindowDecay: cfg.WindowDecay,
+		Faults:      schedule,
+		FaultMode:   fm,
+	})
+	if err != nil {
+		return FaultResult{}, err
+	}
+	a := eng.Assignment()
+	placement.SetContention(mach, a, nil)
+	placement.SetFabricContention(mach, a, rt.CommMatrix())
+	if err := rt.Run(); err != nil {
+		return FaultResult{}, err
+	}
+	if err := eng.Err(); err != nil {
+		return FaultResult{}, err
+	}
+	return FaultResult{
+		Mode:        mode,
+		Seconds:     rt.MakespanSeconds(),
+		WallSeconds: time.Since(start).Seconds(),
+		Stats:       eng.Stats(),
+	}, nil
+}
+
+// AblationFault (A14) compares the fault-handling arms on the rack-skewed
+// stencil with a mid-run correlated failure.
+func AblationFault(cfg FaultConfig) ([]AblationRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	var rows []AblationRow
+	for _, mode := range FaultModes() {
+		res, err := RunFault(mode, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation fault, %s: %w", mode, err)
+		}
+		rows = append(rows, AblationRow{
+			Name:    "fault/" + mode,
+			Seconds: res.Seconds,
+			Detail: fmt.Sprintf("faults=%d evac=%d rebinds=%d cross-rack=%d",
+				res.Stats.FaultEpochs, res.Stats.Evacuations,
+				res.Stats.Rebinds, res.Stats.CrossRackRebinds),
+			WallSeconds: res.WallSeconds,
+		})
+	}
+	return rows, nil
+}
+
+// FaultConfigFrom derives the fault configuration from the common ablation
+// Config, with the same shape rule as A10/A12: 2 racks of fixed 8-core
+// nodes, the node count scaled so the total core count comes close to
+// cfg.Cores (minimum 4 nodes per rack — below that the kill leaves too few
+// survivors for the refuge choice to matter, see FaultConfig).
+func FaultConfigFrom(cfg Config) FaultConfig {
+	cfg = cfg.withDefaults()
+	perRack := cfg.Cores / 16
+	if perRack < 4 {
+		perRack = 4
+	}
+	return FaultConfig{
+		Racks:          2,
+		NodesPerRack:   perRack,
+		CoresPerNode:   8,
+		CoresPerSocket: 4,
+		Seed:           cfg.Seed,
+	}
+}

@@ -70,6 +70,12 @@ func AblationOrderings(exp string) []Ordering {
 			{Before: "torus/sfc", After: "torus/tree-matched", Strict: true},
 			{Before: "torus/tree-matched", After: "torus/rr", Strict: true},
 		}
+	case "fault": // A14
+		return []Ordering{
+			{Before: "fault/fault-aware", After: "fault/fault-blind", Strict: true},
+			{Before: "fault/fault-blind", After: "fault/static-respawn", Strict: true},
+			{Before: "fault/spread", After: "fault/static-respawn", Strict: true},
+		}
 	}
 	return nil
 }

@@ -167,6 +167,22 @@ type Machine struct {
 	// on, in bytes (cache size / PUs sharing it).
 	l3Share []int64
 
+	// Fault state, installed by ApplyFaultEvents. These fields are written
+	// only while every Proc is quiesced — before Run, or inside an epoch
+	// hook, which the barrier's lock edges order before any task's
+	// subsequent charge — so the pricing hot paths read them without taking
+	// mu. On a healthy machine all three stay at their zero values and every
+	// fault branch below is skipped, keeping no-fault pricing bit-identical.
+	//
+	// deadCNode[c] marks cluster node c unreachable (nil until a kill).
+	deadCNode []bool
+	// edgeFaultFactor[e] is the remaining bandwidth fraction of fabric edge
+	// e: 1 healthy, (0,1) degraded, 0 severed. Nil until an edge fault.
+	edgeFaultFactor []float64
+	// hasSevered records that some edge factor is 0, so memCostCycles must
+	// check routed paths for unreachability.
+	hasSevered bool
+
 	mu sync.Mutex
 	// accessors[node] is the static contention degree of each memory node:
 	// how many execution streams hit it concurrently in steady state.
@@ -708,7 +724,11 @@ func (m *Machine) fabricBandwidth(fromC, toC int, streams []int, global int) flo
 	bw := math.Inf(1)
 	if len(m.fabricLevels) == 0 {
 		for _, e := range m.fabricGraph.PathEdges(fromC, toC) {
-			if b := shareLink(m.edgeBW[e], edgeStreamCount(streams, e, global)); b < bw {
+			ebw := m.edgeBW[e]
+			if m.edgeFaultFactor != nil {
+				ebw *= m.edgeFaultFactor[e]
+			}
+			if b := shareLink(ebw, edgeStreamCount(streams, e, global)); b < bw {
 				bw = b
 			}
 		}
@@ -718,7 +738,11 @@ func (m *Machine) fabricBandwidth(fromC, toC int, streams []int, global int) flo
 	for l := 0; l < d; l++ {
 		gf, gt := m.fabricGroupOf[l][fromC], m.fabricGroupOf[l][toC]
 		for _, g := range [2]int{gf, gt} {
-			if b := shareLink(m.fabricLinkBW[l][g], edgeStreamCount(streams, m.levelEdge[l][g], global)); b < bw {
+			lbw := m.fabricLinkBW[l][g]
+			if m.edgeFaultFactor != nil {
+				lbw *= m.edgeFaultFactor[m.levelEdge[l][g]]
+			}
+			if b := shareLink(lbw, edgeStreamCount(streams, m.levelEdge[l][g], global)); b < bw {
 				bw = b
 			}
 		}
@@ -734,7 +758,11 @@ func (m *Machine) fabricBandwidthWalk(fromC, toC int, streams []int, global int)
 	if len(m.fabricLevels) == 0 {
 		edges := m.fabricGraph.Edges()
 		for _, e := range m.fabricGraph.Route(fromC, toC) {
-			if b := shareLink(edges[e].BandwidthBytesPerSec, edgeStreamCount(streams, e, global)); b < bw {
+			ebw := edges[e].BandwidthBytesPerSec
+			if m.edgeFaultFactor != nil {
+				ebw *= m.edgeFaultFactor[e]
+			}
+			if b := shareLink(ebw, edgeStreamCount(streams, e, global)); b < bw {
 				bw = b
 			}
 		}
@@ -746,7 +774,11 @@ func (m *Machine) fabricBandwidthWalk(fromC, toC int, streams []int, global int)
 			break
 		}
 		for _, g := range [2]int{gf, gt} {
-			if b := shareLink(links[g].Attr.BandwidthBytesPerSec, edgeStreamCount(streams, m.levelEdge[l][g], global)); b < bw {
+			lbw := links[g].Attr.BandwidthBytesPerSec
+			if m.edgeFaultFactor != nil {
+				lbw *= m.edgeFaultFactor[m.levelEdge[l][g]]
+			}
+			if b := shareLink(lbw, edgeStreamCount(streams, m.levelEdge[l][g], global)); b < bw {
 				bw = b
 			}
 		}
@@ -834,6 +866,29 @@ func (m *Machine) memCostCycles(pu, node int, bytes float64) float64 {
 	if bytes <= 0 {
 		return 0
 	}
+	if m.deadCNode != nil {
+		if m.deadCNode[m.cnodeOf[pu]] {
+			// A dead PU executes nothing: the access cannot complete.
+			// Infinity, not an error — pricing paths are pure cost
+			// functions, and an Inf surfaces loudly in any gain comparison
+			// or makespan instead of silently pricing the impossible.
+			return math.Inf(1)
+		}
+		if m.deadCNode[m.cnodeOfNUMA[node]] {
+			// The source memory died with its node, but its contents
+			// survive in the checkpoint store: the access re-materializes
+			// the bytes from there instead — the same rule
+			// MigrationCostCycles prices an evacuation by, and the reason a
+			// surviving task can still read a dead partner's last release.
+			node = m.CheckpointNode()
+		}
+	}
+	if m.hasSevered && m.severedPath(m.cnodeOf[pu], m.cnodeOfNUMA[node]) {
+		// A severed routed path partitions two live nodes; unlike a kill,
+		// neither side's memory is lost, so there is no checkpoint to
+		// re-materialize from — the access cannot complete.
+		return math.Inf(1)
+	}
 	bw := m.effectiveBandwidth(pu, node)
 	if bw <= 0 {
 		return m.memLatencyCycles(pu, node)
@@ -896,6 +951,9 @@ func (m *Machine) MigrationCostCycles(fromPU, toPU int, workingSetBytes float64)
 	if fromPU >= 0 {
 		fromNode = m.nodeOf[fromPU]
 	}
+	// When the source node died its memory is gone, and memCostCycles
+	// re-materializes the working set from the checkpoint node instead —
+	// the price an evacuation pays.
 	return m.cfg.MigrationPenaltyCycles + m.memCostCycles(toPU, fromNode, workingSetBytes)
 }
 

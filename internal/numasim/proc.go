@@ -271,7 +271,10 @@ func (p *Proc) move(pu int, charged bool) error {
 // MigrateRegion re-homes a region onto the Proc's current NUMA node,
 // charging the Proc one full stream of the region from its old home (the
 // page-migration copy). Re-homing a region already local to the Proc is
-// free. Interleaved regions cannot be re-homed.
+// free. Interleaved regions cannot be re-homed. When the old home's cluster
+// node has been killed by a fault event, memCostCycles prices the copy as a
+// stream from the checkpoint node instead — an evacuation re-materializes
+// lost data from surviving storage, it cannot pull from the dead node.
 func (p *Proc) MigrateRegion(r *Region) error {
 	if r.Policy() == Interleaved {
 		return fmt.Errorf("numasim: cannot re-home interleaved region %q", r.Name())
@@ -284,8 +287,7 @@ func (p *Proc) MigrateRegion(r *Region) error {
 		return nil
 	}
 	// An untouched first-touch region has no pages to copy; otherwise the
-	// copy streams from the old home (MemRead resolves the cost against the
-	// region's current home before it moves).
+	// copy streams from the old home (resolved before the region moves).
 	if old >= 0 {
 		p.MemRead(r, float64(r.Bytes()))
 	}

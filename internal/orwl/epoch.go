@@ -2,6 +2,7 @@ package orwl
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -131,6 +132,12 @@ func (rt *Runtime) completeEpochLocked() {
 	es := rt.epochs
 	index := int(es.index.Add(1))
 	tasks := append([]*Task(nil), es.arrived...)
+	// es.arrived holds the tasks in real-time barrier-arrival order —
+	// scheduler noise. The hook's view must be canonical: any hook that
+	// iterates the tasks making cumulative decisions (an evacuation filling
+	// survivor slots first-fit, a float-summed score) would otherwise leak
+	// goroutine interleaving into placement and pricing.
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].id < tasks[j].id })
 	var max float64
 	for _, t := range tasks {
 		if t.proc != nil && t.proc.Clock() > max {

@@ -3,11 +3,35 @@ package placement
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/comm"
 	"repro/internal/numasim"
 	"repro/internal/orwl"
+	"repro/internal/topology"
+)
+
+// FaultMode selects how the adaptive engine reacts to scheduled faults
+// (AdaptiveOptions.Faults). All modes evacuate a dead node's tasks — there
+// is no choice about that — but they differ in where the evacuees land and
+// whether the engine keeps adapting afterwards.
+type FaultMode int
+
+const (
+	// FaultAware (the zero value) places evacuees on the surviving node with
+	// the cheapest modeled traffic to their live partners under the degraded
+	// fabric, and keeps running the candidate loop, which now prices the
+	// degraded fabric too.
+	FaultAware FaultMode = iota
+	// FaultBlind evacuates onto surviving capacity in node-index order —
+	// first fit, no affinity — and keeps adapting, but its candidates price
+	// with the same blind evacuation matcher.
+	FaultBlind
+	// FaultRespawn is the static-with-respawn baseline: evacuees are dealt
+	// round-robin across the surviving nodes and the engine never runs the
+	// candidate loop at all — forced evacuations are its only intervention.
+	FaultRespawn
 )
 
 // AdaptiveOptions configures the epoch-based adaptive re-placement engine.
@@ -40,6 +64,16 @@ type AdaptiveOptions struct {
 	// charging migration: the oracle configuration, an upper bound on what
 	// adaptivity could gain. Never use it to report real results.
 	FreeMigration bool
+	// Faults schedules platform failures by 1-based epoch index: at each
+	// matching epoch boundary the engine installs the events into the
+	// machine's pricing (numasim.Machine.ApplyFaultEvents) and forcibly
+	// evacuates every live task parked on a dead node before the ordinary
+	// candidate flow runs. Nil — the default — changes nothing: no schedule
+	// is installed and every existing path prices and decides bit-identically.
+	Faults *topology.FaultSchedule
+	// FaultMode selects the evacuation strategy and whether the engine keeps
+	// adapting after a fault; the zero value is FaultAware.
+	FaultMode FaultMode
 }
 
 // AdaptiveStats summarizes what the engine did over a run.
@@ -64,6 +98,15 @@ type AdaptiveStats struct {
 	PredictedGainCycles float64
 	// MigrationCostCycles is the total modeled price of the applied moves.
 	MigrationCostCycles float64
+	// FaultEpochs counts the epochs at which scheduled faults struck.
+	FaultEpochs int
+	// Evacuations counts the forced moves off dead nodes. They are included
+	// in Rebinds and the move-class split, and they bypass hysteresis — a
+	// dead node leaves no choice — so they are charged even in oracle
+	// (FreeMigration) runs.
+	Evacuations int
+	// EvacuationCostCycles is the total modeled price of the evacuations.
+	EvacuationCostCycles float64
 }
 
 // AdaptiveEngine is the feedback loop around a base placement policy: at
@@ -102,6 +145,14 @@ func PlaceAdaptive(rt *orwl.Runtime, opts AdaptiveOptions) (*AdaptiveEngine, err
 	}
 	if !(opts.WindowDecay >= 0 && opts.WindowDecay < 1) { // rejects NaN too
 		return nil, fmt.Errorf("placement: adaptive WindowDecay %v outside [0,1)", opts.WindowDecay)
+	}
+	if opts.FaultMode < FaultAware || opts.FaultMode > FaultRespawn {
+		return nil, fmt.Errorf("placement: unknown FaultMode %d", opts.FaultMode)
+	}
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(rt.Machine().Topology()); err != nil {
+			return nil, fmt.Errorf("placement: adaptive fault schedule: %w", err)
+		}
 	}
 	if opts.Base == nil {
 		opts.Base = TreeMatch{}
@@ -142,6 +193,17 @@ func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.stats.Epochs++
+	if e.opts.Faults != nil {
+		if events := e.opts.Faults.EventsAt(ep.Index()); len(events) > 0 {
+			e.onFault(ep, events)
+		}
+	}
+	if e.opts.FaultMode == FaultRespawn {
+		// Static-with-respawn never adapts: the forced evacuations in
+		// onFault are its only interventions.
+		e.stats.Skipped++
+		return
+	}
 	w := ep.Window()
 	if w == nil || w.TotalVolume() == 0 {
 		e.stats.Skipped++
@@ -167,6 +229,12 @@ func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
 			cand.TaskPU[id] = e.current[id]
 		}
 	}
+	// Candidate policies place onto the full platform — they know nothing
+	// about failures — so rewrite any slot landing on a dead node onto
+	// surviving capacity before the candidate is anchored or priced: an
+	// unreachable endpoint prices to +Inf and would wedge the gain
+	// comparison. A no-op until a kill event has struck.
+	e.patchDeadSlots(cand, live, w)
 	e.anchorCandidate(cand, w, isLive)
 	gain := MappingCost(e.mach, w, e.current) - MappingCost(e.mach, w, cand.TaskPU)
 	var migCost float64
@@ -217,22 +285,7 @@ func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
 			// move drags the working set over the NIC links, and a
 			// cross-rack (or cross-pod) move additionally pays the uplink
 			// path — the distinction the fabric-priced hysteresis weighed.
-			// A previously unbound task (from < 0, e.g. a NoBind base)
-			// counts as leaving cluster node 0, matching how
-			// MigrationCostCycles prices that move (a node-0 pull).
-			fromC := 0
-			if from >= 0 {
-				fromC = e.mach.ClusterNodeOfPU(from)
-			}
-			switch toC := e.mach.ClusterNodeOfPU(pu); {
-			case fromC == toC:
-				e.stats.IntraNodeRebinds++
-			case e.mach.SameRack(fromC, toC):
-				e.stats.CrossNodeRebinds++
-			default:
-				e.stats.CrossNodeRebinds++
-				e.stats.CrossRackRebinds++
-			}
+			e.classifyMove(from, pu)
 		}
 		if ctl := cand.ControlPU[id]; ctl != e.currentCtl[id] {
 			if err := ep.RebindControl(t, ctl); err != nil {
@@ -256,6 +309,289 @@ func (e *AdaptiveEngine) onEpoch(ep *orwl.Epoch) {
 	if e.mach.NumFabricLevels() > 0 || e.mach.FabricGraph() != nil {
 		SetFabricContention(e.mach, e.assignmentLocked(), w)
 	}
+}
+
+// classifyMove counts one committed move in the fabric-level split. A
+// previously unbound task (from < 0, e.g. a NoBind base) counts as leaving
+// cluster node 0, matching how MigrationCostCycles prices that move (a
+// node-0 pull).
+func (e *AdaptiveEngine) classifyMove(from, to int) {
+	fromC := 0
+	if from >= 0 {
+		fromC = e.mach.ClusterNodeOfPU(from)
+	}
+	switch toC := e.mach.ClusterNodeOfPU(to); {
+	case fromC == toC:
+		e.stats.IntraNodeRebinds++
+	case e.mach.SameRack(fromC, toC):
+		e.stats.CrossNodeRebinds++
+	default:
+		e.stats.CrossNodeRebinds++
+		e.stats.CrossRackRebinds++
+	}
+}
+
+// windowOrMatrix returns the epoch's observed window, falling back to the
+// statically extracted matrix when nothing has been observed yet — a fault
+// at the very first epoch still needs affinities to steer the evacuation.
+func (e *AdaptiveEngine) windowOrMatrix(ep *orwl.Epoch) *comm.Matrix {
+	if w := ep.Window(); w != nil && w.TotalVolume() > 0 {
+		return w
+	}
+	return e.rt.CommMatrix()
+}
+
+// onFault installs one epoch's fault events into the machine's pricing and
+// forcibly evacuates every live task parked on a node that just died. The
+// evacuation bypasses hysteresis — a dead node leaves no choice — and is
+// charged even under FreeMigration. Runs while the runtime is quiesced (the
+// epoch barrier), which is what licenses writing the machine's fault state.
+func (e *AdaptiveEngine) onFault(ep *orwl.Epoch, events []topology.FaultEvent) {
+	e.stats.FaultEpochs++
+	if err := e.mach.ApplyFaultEvents(events); err != nil {
+		e.errs = append(e.errs, fmt.Errorf("epoch %d: fault: %w", ep.Index(), err))
+		return
+	}
+	live := ep.Tasks()
+	var evac []*orwl.Task
+	for _, t := range live {
+		if pu := e.current[t.ID()]; pu >= 0 && e.mach.ClusterNodeDead(e.mach.ClusterNodeOfPU(pu)) {
+			evac = append(evac, t)
+		}
+	}
+	if len(evac) > 0 {
+		w := e.windowOrMatrix(ep)
+		ids := make([]int, len(evac))
+		for i, t := range evac {
+			ids[i] = t.ID()
+		}
+		targets, err := e.survivorSlots(ids, e.current, live, w)
+		if err != nil {
+			e.errs = append(e.errs, fmt.Errorf("epoch %d: evacuate: %w", ep.Index(), err))
+			return
+		}
+		for i, t := range evac {
+			id, pu := ids[i], targets[i]
+			from := e.current[id]
+			cost := e.mach.MigrationCostCycles(from, pu, e.migrateBytes[id])
+			if err := ep.Rebind(t, pu); err != nil {
+				e.errs = append(e.errs, fmt.Errorf("epoch %d: evacuate %s: %w", ep.Index(), t, err))
+				continue
+			}
+			e.current[id] = pu
+			e.stats.Rebinds++
+			e.stats.Evacuations++
+			e.stats.EvacuationCostCycles += cost
+			e.stats.MigrationCostCycles += cost
+			e.classifyMove(from, pu)
+			// The control thread follows its task off the dead node: onto the
+			// new core's second hyperthread when it has one, else the task's
+			// own PU.
+			if ctl := e.currentCtl[id]; ctl >= 0 && e.mach.ClusterNodeDead(e.mach.ClusterNodeOfPU(ctl)) {
+				nctl := siblingPU(e.mach.Topology(), pu)
+				if err := ep.RebindControl(t, nctl); err != nil {
+					e.errs = append(e.errs, fmt.Errorf("epoch %d: rebind control %s: %w", ep.Index(), t, err))
+				} else {
+					e.currentCtl[id] = nctl
+				}
+			}
+		}
+	}
+	// The failure changed both the path prices (degraded edges) and where
+	// the crossing streams run (evacuees), so the declared fabric contention
+	// is stale for every mode — the arms differ in placement decisions, not
+	// in pricing honesty.
+	if e.mach.NumFabricLevels() > 0 || e.mach.FabricGraph() != nil {
+		SetFabricContention(e.mach, e.assignmentLocked(), e.windowOrMatrix(ep))
+	}
+}
+
+// patchDeadSlots rewrites candidate slots that landed on dead cluster nodes
+// onto surviving capacity, via the same matcher the forced evacuation uses.
+// Control slots parked on dead nodes follow their task. A no-op before any
+// kill event.
+func (e *AdaptiveEngine) patchDeadSlots(cand *Assignment, live []*orwl.Task, w *comm.Matrix) {
+	if !e.mach.AnyDeadClusterNode() {
+		return
+	}
+	var ids []int
+	for _, t := range live {
+		id := t.ID()
+		if pu := cand.TaskPU[id]; pu >= 0 && e.mach.ClusterNodeDead(e.mach.ClusterNodeOfPU(pu)) {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) > 0 {
+		slots, err := e.survivorSlots(ids, cand.TaskPU, live, w)
+		if err != nil {
+			// Fall back to the mapping in force, which is alive post-evacuation.
+			for _, id := range ids {
+				cand.TaskPU[id] = e.current[id]
+			}
+		} else {
+			for i, id := range ids {
+				cand.TaskPU[id] = slots[i]
+			}
+		}
+	}
+	for _, t := range live {
+		id := t.ID()
+		if ctl := cand.ControlPU[id]; ctl >= 0 && e.mach.ClusterNodeDead(e.mach.ClusterNodeOfPU(ctl)) {
+			if pu := cand.TaskPU[id]; pu >= 0 {
+				cand.ControlPU[id] = siblingPU(e.mach.Topology(), pu)
+			} else {
+				cand.ControlPU[id] = -1
+			}
+		}
+	}
+}
+
+// survivorSlots picks a surviving PU for each of the given task ids,
+// deterministically and invariant-preserving by construction: no slot on a
+// dead node, and no PU loaded past ceil(live tasks / surviving PUs),
+// counting the other live tasks' slots in taskPU. The node preference order
+// is the FaultMode's:
+//
+//   - FaultAware keeps the group together on the surviving node with the
+//     cheapest modeled traffic to the group's live outside partners under
+//     the degraded fabric (ties: more free capacity, then lower index),
+//     filling it up to the balance bound and spilling to the next;
+//   - FaultBlind fills surviving nodes in index order;
+//   - FaultRespawn deals the tasks round-robin across the surviving nodes.
+func (e *AdaptiveEngine) survivorSlots(ids []int, taskPU []int, live []*orwl.Task, w *comm.Matrix) ([]int, error) {
+	topo := e.mach.Topology()
+	numC := topo.NumClusterNodes()
+	if numC == 0 {
+		numC = 1
+	}
+	// Candidate PUs per surviving node: every core's first hyperthread
+	// first, so evacuees take whole cores before doubling up on siblings.
+	puOrder := make([][]int, numC)
+	for pass := 0; pass < 2; pass++ {
+		for core := 0; core < topo.NumCores(); core++ {
+			var pu int
+			if pass == 0 {
+				pu = firstPU(topo, core)
+			} else if pu = secondPU(topo, core); pu < 0 {
+				continue
+			}
+			if c := e.mach.ClusterNodeOfPU(pu); !e.mach.ClusterNodeDead(c) {
+				puOrder[c] = append(puOrder[c], pu)
+			}
+		}
+	}
+	var aliveNodes []int
+	alivePUs := 0
+	for c := 0; c < numC; c++ {
+		if len(puOrder[c]) > 0 {
+			aliveNodes = append(aliveNodes, c)
+			alivePUs += len(puOrder[c])
+		}
+	}
+	if alivePUs == 0 {
+		return nil, fmt.Errorf("placement: no surviving capacity to evacuate %d tasks into", len(ids))
+	}
+	inSet := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		inSet[id] = true
+	}
+	load := make(map[int]int)
+	liveCount := 0
+	for _, t := range live {
+		liveCount++
+		if id := t.ID(); !inSet[id] && taskPU[id] >= 0 {
+			load[taskPU[id]]++
+		}
+	}
+	capPerPU := (liveCount + alivePUs - 1) / alivePUs
+	if capPerPU < 1 {
+		capPerPU = 1
+	}
+	// pick takes the first under-bound PU in the node preference order,
+	// escalating the bound only when every candidate is full (possible only
+	// when the platform was already oversubscribed past the balance bound).
+	pick := func(order []int) int {
+		for bound := capPerPU; ; bound++ {
+			for _, c := range order {
+				for _, pu := range puOrder[c] {
+					if load[pu] < bound {
+						load[pu]++
+						return pu
+					}
+				}
+			}
+		}
+	}
+	out := make([]int, len(ids))
+	if e.opts.FaultMode == FaultRespawn {
+		for i := range ids {
+			k := i % len(aliveNodes)
+			rot := append(append([]int(nil), aliveNodes[k:]...), aliveNodes[:k]...)
+			out[i] = pick(rot)
+		}
+		return out, nil
+	}
+	order := aliveNodes
+	if e.opts.FaultMode == FaultAware {
+		// Score each surviving node by the modeled cost of the evacuated
+		// group's traffic to its live outside partners, as seen from that
+		// node — the degraded fabric prices included.
+		type scored struct {
+			c    int
+			cost float64
+			free int
+		}
+		sc := make([]scored, len(aliveNodes))
+		for i, c := range aliveNodes {
+			rep := puOrder[c][0]
+			var cost float64
+			for _, id := range ids {
+				for _, t := range live {
+					j := t.ID()
+					if inSet[j] {
+						continue
+					}
+					if vol := w.At(id, j) + w.At(j, id); vol != 0 && taskPU[j] != rep {
+						cost += e.mach.TransferCost(rep, taskPU[j], vol)
+					}
+				}
+			}
+			free := 0
+			for _, pu := range puOrder[c] {
+				if load[pu] < capPerPU {
+					free += capPerPU - load[pu]
+				}
+			}
+			sc[i] = scored{c, cost, free}
+		}
+		sort.Slice(sc, func(a, b int) bool {
+			if sc[a].cost != sc[b].cost {
+				return sc[a].cost < sc[b].cost
+			}
+			if sc[a].free != sc[b].free {
+				return sc[a].free > sc[b].free
+			}
+			return sc[a].c < sc[b].c
+		})
+		order = make([]int, len(sc))
+		for i, s := range sc {
+			order[i] = s.c
+		}
+	}
+	for i := range ids {
+		out[i] = pick(order)
+	}
+	return out, nil
+}
+
+// siblingPU returns the second hyperthread of pu's core when the core has
+// one, else pu itself — where an evacuated task's control thread lands.
+func siblingPU(topo *topology.Topology, pu int) int {
+	core := topo.PU(pu).Ancestor(topology.Core).LevelIndex
+	if s := secondPU(topo, core); s >= 0 && s != pu {
+		return s
+	}
+	return pu
 }
 
 // anchorCandidate canonicalizes a candidate mapping against the mapping in

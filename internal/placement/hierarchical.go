@@ -3,6 +3,7 @@ package placement
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -56,6 +57,16 @@ type Hierarchical struct {
 	// heterogeneous platform the small nodes oversubscribe and the large
 	// ones idle.
 	CapacityBlind bool
+	// SpreadDomains is the fault-aware initial-placement arm: after the
+	// group→node matching, the two most heavily coupled partition groups —
+	// the critical pair whose joint loss would stall the computation — are
+	// forced onto different racks when the matching co-located them, via the
+	// cheapest capacity-class-preserving swap under the fabric's routed
+	// latency model. The clustering objective co-locates exactly such pairs,
+	// so this deliberately trades some locality for blast-radius isolation:
+	// a rack-level failure (a ToR sever, a correlated node kill) can then
+	// take out at most one member of the pair.
+	SpreadDomains bool
 	// TreeFabric restricts the group→node matching to the balanced-tree
 	// model of earlier revisions: shaped (torus/dragonfly) fabrics and
 	// uneven trees — which the balanced FabricTree cannot express — skip
@@ -180,6 +191,9 @@ func (p Hierarchical) Assign(mach *numasim.Machine, m *comm.Matrix) (*Assignment
 			}
 			copy(nodeOf, assignment)
 		}
+	}
+	if p.SpreadDomains && topo.NumRacks() > 1 && topo.FabricGraph() != nil {
+		spreadCriticalPair(mach, topo, groupMatrix, partCaps, nodeOf)
 	}
 
 	a := &Assignment{
@@ -381,6 +395,68 @@ func matchGroupsByDistance(topo *topology.Topology, groupMatrix *comm.Matrix, gr
 		}
 	}
 	return treematch.AssignByDistance(dist, groupMatrix, entityClass, leafClass, seeds...)
+}
+
+// spreadCriticalPair implements Hierarchical.SpreadDomains: if the two most
+// heavily coupled partition groups landed in the same rack, swap one of them
+// with a group on a different rack so a single rack failure cannot take both.
+// Only swaps between groups of the same partition capacity are considered
+// (the same capacity-class constraint the matching itself honors), and among
+// the valid spreading swaps the one with the lowest total mapped cost under
+// the fabric's routed latency model wins, first-wins on ties. A no-op when
+// the pair is already rack-separated, when no valid swap exists, or when the
+// group matrix carries no traffic at all.
+func spreadCriticalPair(mach *numasim.Machine, topo *topology.Topology, groupMatrix *comm.Matrix, partCaps, nodeOf []int) {
+	n := groupMatrix.Order()
+	if n < 3 {
+		return
+	}
+	g1, g2 := -1, -1
+	heaviest := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if v := groupMatrix.At(i, j) + groupMatrix.At(j, i); v > heaviest {
+				g1, g2, heaviest = i, j, v
+			}
+		}
+	}
+	if g1 < 0 || mach.RackOfClusterNode(nodeOf[g1]) != mach.RackOfClusterNode(nodeOf[g2]) {
+		return
+	}
+	dist := topo.FabricGraph().LatencyMatrix()
+	mappedCost := func(assign []int) float64 {
+		var c float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if v := groupMatrix.At(i, j) + groupMatrix.At(j, i); v > 0 {
+					c += v * dist[assign[i]][assign[j]]
+				}
+			}
+		}
+		return c
+	}
+	bestCost := math.Inf(1)
+	bestMoved, bestPartner := -1, -1
+	trial := make([]int, n)
+	for _, moved := range []int{g1, g2} {
+		anchor := g1 + g2 - moved
+		for h := 0; h < n; h++ {
+			if h == g1 || h == g2 || partCaps[h] != partCaps[moved] {
+				continue
+			}
+			if mach.RackOfClusterNode(nodeOf[h]) == mach.RackOfClusterNode(nodeOf[anchor]) {
+				continue
+			}
+			copy(trial, nodeOf)
+			trial[moved], trial[h] = nodeOf[h], nodeOf[moved]
+			if c := mappedCost(trial); c < bestCost {
+				bestCost, bestMoved, bestPartner = c, moved, h
+			}
+		}
+	}
+	if bestMoved >= 0 {
+		nodeOf[bestMoved], nodeOf[bestPartner] = nodeOf[bestPartner], nodeOf[bestMoved]
+	}
 }
 
 // RoundRobinNodes deals tasks across the cluster nodes round-robin:

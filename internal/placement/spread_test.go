@@ -1,0 +1,112 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// criticalPairMatrix builds 4 blocks of 2 tasks: heavy intra-block halos keep
+// each block a partition group, blocks 0 and 1 exchange by far the heaviest
+// inter-group volume (the critical pair the fabric matching wants to co-rack),
+// and blocks 2 and 3 exchange a lighter stream.
+func criticalPairMatrix() *comm.Matrix {
+	m := comm.New(8)
+	for b := 0; b < 4; b++ {
+		m.AddSym(b*2, b*2+1, 1000)
+	}
+	m.AddSym(0, 2, 200) // blocks 0↔1: the critical pair
+	m.AddSym(4, 6, 50)  // blocks 2↔3: lighter coupling
+	return m
+}
+
+// TestSpreadDomainsSeparatesCriticalPair pins the fault-aware initial
+// placement arm: the default matching co-racks the heaviest-coupled group
+// pair (that is its objective), and SpreadDomains forces exactly that pair
+// onto different racks, while keeping every placement invariant intact.
+func TestSpreadDomainsSeparatesCriticalPair(t *testing.T) {
+	m := criticalPairMatrix()
+	rackOfTask := func(a *Assignment, task int) int {
+		mach := machine(t, "rack:2 node:2 pack:1 l3:1 core:2 pu:1")
+		return mach.RackOfClusterNode(mach.ClusterNodeOfPU(a.TaskPU[task]))
+	}
+
+	mach := machine(t, "rack:2 node:2 pack:1 l3:1 core:2 pu:1")
+	def, err := Hierarchical{}.Assign(mach, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rackOfTask(def, 0) != rackOfTask(def, 2) {
+		t.Fatalf("default matching rack-separated the critical pair; the spread pass has nothing to prove")
+	}
+
+	spread, err := Hierarchical{SpreadDomains: true}.Assign(mach, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rackOfTask(spread, 0) == rackOfTask(spread, 2) {
+		t.Errorf("SpreadDomains left the critical pair (blocks 0 and 1) in one rack")
+	}
+	// The spread is a swap: the invariants of the matched placement survive.
+	topo := mach.Topology()
+	perNode := map[int]int{}
+	for task, pu := range spread.TaskPU {
+		if pu < 0 || pu >= topo.NumPUs() {
+			t.Fatalf("task %d on PU %d, out of range", task, pu)
+		}
+		perNode[mach.ClusterNodeOfPU(pu)]++
+	}
+	for node, got := range perNode {
+		if got > 2 {
+			t.Errorf("node %d holds %d tasks, capacity is 2", node, got)
+		}
+	}
+	// Blocks stay whole: spreading moves groups, it never splits them.
+	for b := 0; b < 4; b++ {
+		if mach.ClusterNodeOfPU(spread.TaskPU[b*2]) != mach.ClusterNodeOfPU(spread.TaskPU[b*2+1]) {
+			t.Errorf("block %d split across cluster nodes by the spread pass", b)
+		}
+	}
+	// Deterministic: the identical input yields the identical assignment.
+	again, err := Hierarchical{SpreadDomains: true}.Assign(machine(t, "rack:2 node:2 pack:1 l3:1 core:2 pu:1"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spread, again) {
+		t.Error("SpreadDomains assignment differs between identical runs")
+	}
+}
+
+// TestSpreadDomainsNoopCases pins where the spread pass must change nothing:
+// on a single-switch fabric there is no rack to spread across, and with zero
+// traffic there is no critical pair to protect.
+func TestSpreadDomainsNoopCases(t *testing.T) {
+	m := criticalPairMatrix()
+	flat := machine(t, "cluster:4 pack:1 l3:1 core:2 pu:1")
+	a, err := Hierarchical{}.Assign(flat, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Hierarchical{SpreadDomains: true}.Assign(flat, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("SpreadDomains changed the assignment on a single-switch fabric")
+	}
+
+	racked := machine(t, "rack:2 node:2 pack:1 l3:1 core:2 pu:1")
+	quiet := comm.New(8)
+	qa, err := Hierarchical{}.Assign(racked, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := Hierarchical{SpreadDomains: true}.Assign(racked, quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(qa, qb) {
+		t.Error("SpreadDomains changed the assignment of a traffic-free program")
+	}
+}
