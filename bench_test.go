@@ -311,6 +311,40 @@ func BenchmarkAblationFault(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationSched is ablation A15: the online multi-tenant scheduler
+// replaying the seeded job stream under the three policy arms — each grid
+// cell (platform shape × stream seed) benchmarked and asserted separately,
+// mirroring the acceptance property of the test suite.
+func BenchmarkAblationSched(b *testing.B) {
+	base := experiment.SchedConfig{}
+	for _, shape := range []struct {
+		name, spec string
+	}{
+		{"2rack", "rack:2 node:4 pack:2 core:4 pu:1"},
+		{"2pod", "pod:2 rack:2 node:2 pack:2 core:4 pu:1"},
+	} {
+		for _, seed := range []int64{7, 42} {
+			b.Run(fmt.Sprintf("%s/seed=%d", shape.name, seed), func(b *testing.B) {
+				cfg := base
+				cfg.Shapes = []string{shape.spec}
+				cfg.Seeds = []int64{seed}
+				var rows []experiment.AblationRow
+				var err error
+				for i := 0; i < b.N; i++ {
+					rows, err = experiment.AblationSched(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				// The A15 acceptance property, enforced at bench time too:
+				// topo-aware strictly beats topo-blind on aggregate job cycle
+				// time, and topo-blind strictly beats first-fit.
+				reportAndAssert(b, rows, "sched")
+			})
+		}
+	}
+}
+
 // reportAndAssert emits every row's simulated seconds as a custom metric and
 // fails the benchmark when an asserted ordering of the ablation is violated
 // — the exact same relations the test suite and cmd/ablate -json check

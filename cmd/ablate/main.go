@@ -17,6 +17,7 @@
 //	ablate -exp shift       # cross-fabric adaptive migration (A12)
 //	ablate -exp torus       # torus halo exchange, routed fabric (A13)
 //	ablate -exp fault       # fault injection, mid-run resilience (A14)
+//	ablate -exp sched       # online multi-tenant scheduler (A15)
 //	ablate -exp scale       # placement-latency benchmark tier (S1)
 //	ablate -full            # paper-scale matrix and iterations
 //
@@ -29,6 +30,11 @@
 // line: -fault-kill "node@epoch", -fault-degrade "level:link:factor@epoch"
 // and -fault-sever "level:link@epoch" each accept a comma-separated list,
 // and together they replace the default correlated kill+degrade scenario.
+// The scheduler ablation's workload and policy knobs are likewise
+// overridable: -sched-jobs and -sched-churn reshape the job stream,
+// -sched-constraints sets the constrained fraction, and -sched-fit /
+// -sched-queue select the domain scoring rule (best, worst) and the
+// required-tier-full policy (wait, reject) of every arm.
 // With -json the results are emitted as one machine-readable JSON document
 // on stdout — per-ablation rows with simulated seconds and cycle counts,
 // plus the asserted orderings and their verdicts — and the exit status is
@@ -47,12 +53,13 @@ import (
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/sched"
 	"repro/internal/topology"
 )
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, shift, torus, fault, scale, all (a comma-separated list selects several; scale is excluded from all)")
+		exp          = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, shift, torus, fault, sched, scale, all (a comma-separated list selects several; scale is excluded from all)")
 		full         = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations, 192 cores; overrides -rows/-cols/-iters/-cores)")
 		jsonF        = flag.Bool("json", false, "emit one machine-readable JSON report on stdout (rows, cycle counts, ordering verdicts); exit non-zero on any ordering violation")
 		seed         = flag.Int64("seed", 7, "simulated OS scheduler seed")
@@ -65,6 +72,11 @@ func main() {
 		faultKill    = flag.String("fault-kill", "", "comma-separated \"node@epoch\" node kills for -exp fault (any fault flag overrides the default correlated failure)")
 		faultDegrade = flag.String("fault-degrade", "", "comma-separated \"level:link:factor@epoch\" fabric-link degrades for -exp fault")
 		faultSever   = flag.String("fault-sever", "", "comma-separated \"level:link@epoch\" fabric-link severs for -exp fault")
+		schedJobs    = flag.Int("sched-jobs", 0, "jobs per stream for -exp sched (0 = experiment default)")
+		schedChurn   = flag.Float64("sched-churn", 0, "arrival-rate churn factor for -exp sched (0 = experiment default)")
+		schedConstr  = flag.Float64("sched-constraints", 0, "fraction of jobs carrying topology constraints for -exp sched (0 = experiment default)")
+		schedFit     = flag.String("sched-fit", "", "domain scoring rule for -exp sched: best or worst (empty = best)")
+		schedQueue   = flag.String("sched-queue", "", "required-tier-full policy for -exp sched: wait or reject (empty = wait)")
 	)
 	flag.Parse()
 
@@ -82,6 +94,10 @@ func main() {
 		os.Exit(1)
 	}
 	if faultOverrides.events, err = parseFaultEvents(*faultKill, *faultDegrade, *faultSever); err != nil {
+		fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
+		os.Exit(1)
+	}
+	if err = buildSchedOverrides(*schedJobs, *schedChurn, *schedConstr, *schedFit, *schedQueue); err != nil {
 		fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
 		os.Exit(1)
 	}
@@ -132,7 +148,61 @@ func ablations() []ablation {
 			fc.Events = faultOverrides.events
 			return experiment.AblationFault(fc)
 		}},
+		{"sched", "A15", "A15: online multi-tenant scheduler (topo-aware vs topo-blind vs first-fit)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			sc := experiment.SchedConfigFrom(c)
+			sc.Jobs = schedOverrides.jobs
+			sc.Churn = schedOverrides.churn
+			sc.ConstraintFraction = schedOverrides.constraints
+			sc.Fit = schedOverrides.fit
+			sc.Queue = schedOverrides.queue
+			return experiment.AblationSched(sc)
+		}},
 	}
+}
+
+// schedOverrides carries the parsed -sched-* flag values to the scheduler
+// ablation; zero values select the experiment defaults.
+var schedOverrides struct {
+	jobs        int
+	churn       float64
+	constraints float64
+	fit         sched.Fit
+	queue       sched.QueuePolicy
+}
+
+// buildSchedOverrides validates the -sched-* flag values. The numeric knobs
+// only enforce the flag-layer contract (non-negative; zero = default); the
+// stream generator re-validates the assembled configuration.
+func buildSchedOverrides(jobs int, churn, constraints float64, fit, queue string) error {
+	if jobs < 0 {
+		return fmt.Errorf("-sched-jobs: job count %d must be non-negative", jobs)
+	}
+	if churn < 0 {
+		return fmt.Errorf("-sched-churn: churn %v must be non-negative", churn)
+	}
+	if constraints < 0 || constraints > 1 {
+		return fmt.Errorf("-sched-constraints: fraction %v outside [0,1]", constraints)
+	}
+	schedOverrides.jobs = jobs
+	schedOverrides.churn = churn
+	schedOverrides.constraints = constraints
+	schedOverrides.fit = sched.BestFit
+	if fit != "" {
+		f, err := sched.ParseFit(fit)
+		if err != nil {
+			return fmt.Errorf("-sched-fit: %v", err)
+		}
+		schedOverrides.fit = f
+	}
+	schedOverrides.queue = sched.QueueWait
+	if queue != "" {
+		q, err := sched.ParseQueuePolicy(queue)
+		if err != nil {
+			return fmt.Errorf("-sched-queue: %v", err)
+		}
+		schedOverrides.queue = q
+	}
+	return nil
 }
 
 // scaleOverrides carries the -scale-tasks/-scale-nodes flag values to the
@@ -269,7 +339,7 @@ func parseIntList(s string) ([]int, error) {
 
 // selectAblations resolves a -exp value ("all", one name, or a
 // comma-separated list) against the suite, preserving report order. "all"
-// selects the fourteen ablations; the benchmark tiers (extraAblations) only
+// selects the fifteen ablations; the benchmark tiers (extraAblations) only
 // run when named explicitly.
 func selectAblations(exp string) ([]ablation, error) {
 	all := ablations()

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/experiment"
+	"repro/internal/sched"
 	"repro/internal/topology"
 )
 
@@ -47,8 +48,8 @@ func TestSelectAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 14 || all[0].id != "A1" || all[13].id != "A14" {
-		t.Fatalf("all selects %d ablations (%+v), want A1..A14", len(all), all)
+	if len(all) != 15 || all[0].id != "A1" || all[14].id != "A15" {
+		t.Fatalf("all selects %d ablations (%+v), want A1..A15", len(all), all)
 	}
 	list, err := selectAblations("shift,adaptive")
 	if err != nil {
@@ -223,5 +224,58 @@ func TestRunHumanReport(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "A12") || !strings.Contains(out, "shift/adaptive-fabric") {
 		t.Errorf("human report misses the A12 rows:\n%s", out)
+	}
+}
+
+// TestBuildSchedOverrides drives the -sched-* flag validation: malformed
+// values must fail at the flag layer with a message naming the flag, and
+// well-formed values must land in the override set exactly.
+func TestBuildSchedOverrides(t *testing.T) {
+	cases := []struct {
+		name        string
+		jobs        int
+		churn       float64
+		constraints float64
+		fit, queue  string
+		wantFit     sched.Fit
+		wantQueue   sched.QueuePolicy
+		wantErr     string
+	}{
+		{name: "all defaults", wantFit: sched.BestFit, wantQueue: sched.QueueWait},
+		{name: "explicit knobs", jobs: 20, churn: 8, constraints: 0.5,
+			fit: "worst", queue: "reject", wantFit: sched.WorstFit, wantQueue: sched.QueueReject},
+		{name: "best fit by name", fit: "best", wantFit: sched.BestFit, wantQueue: sched.QueueWait},
+		{name: "negative jobs", jobs: -1, wantErr: "-sched-jobs"},
+		{name: "negative churn", churn: -0.5, wantErr: "-sched-churn"},
+		{name: "constraints above one", constraints: 1.5, wantErr: "-sched-constraints"},
+		{name: "unknown fit", fit: "snuggest", wantErr: "-sched-fit"},
+		{name: "unknown queue", queue: "drop", wantErr: "-sched-queue"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				schedOverrides.jobs, schedOverrides.churn, schedOverrides.constraints = 0, 0, 0
+				schedOverrides.fit, schedOverrides.queue = sched.BestFit, sched.QueueWait
+			}()
+			err := buildSchedOverrides(tc.jobs, tc.churn, tc.constraints, tc.fit, tc.queue)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if schedOverrides.jobs != tc.jobs || schedOverrides.churn != tc.churn ||
+				schedOverrides.constraints != tc.constraints {
+				t.Errorf("overrides %+v, want jobs=%d churn=%v constraints=%v",
+					schedOverrides, tc.jobs, tc.churn, tc.constraints)
+			}
+			if schedOverrides.fit != tc.wantFit || schedOverrides.queue != tc.wantQueue {
+				t.Errorf("fit/queue = %v/%v, want %v/%v",
+					schedOverrides.fit, schedOverrides.queue, tc.wantFit, tc.wantQueue)
+			}
+		})
 	}
 }

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestBuildOptionsValidation(t *testing.T) {
+	cases := []struct {
+		name               string
+		policy, fit, queue string
+		want               sched.Options
+		wantErr            string
+	}{
+		{"defaults", "topo-aware", "best", "wait",
+			sched.Options{Policy: sched.TopoAware, Fit: sched.BestFit, Queue: sched.QueueWait}, ""},
+		{"blind worst reject", "topo-blind", "worst", "reject",
+			sched.Options{Policy: sched.TopoBlind, Fit: sched.WorstFit, Queue: sched.QueueReject}, ""},
+		{"first fit", "first-fit", "best", "wait",
+			sched.Options{Policy: sched.FirstFit, Fit: sched.BestFit, Queue: sched.QueueWait}, ""},
+		{"unknown policy", "round-robin", "best", "wait", sched.Options{}, "-policy"},
+		{"unknown fit", "topo-aware", "snuggest", "wait", sched.Options{}, "-fit"},
+		{"unknown queue", "topo-aware", "best", "drop", sched.Options{}, "-queue"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := buildOptions(tc.policy, tc.fit, tc.queue)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if got.Policy != tc.want.Policy || got.Fit != tc.want.Fit || got.Queue != tc.want.Queue {
+				t.Errorf("options %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuildStreamValidation(t *testing.T) {
+	cases := []struct {
+		name                string
+		jobs                int
+		seed                int64
+		churn, constraints  float64
+		preferred, required string
+		wantErr             string
+	}{
+		{"defaults", 40, 7, 4, 0.3, "node", "rack", ""},
+		{"unconstrained", 10, 1, 2, 0, "", "", ""},
+		{"negative churn", 40, 7, -1, 0.3, "node", "rack", "churn"},
+		{"too many jobs", 1 << 21, 7, 4, 0.3, "node", "rack", "jobs"},
+		{"fraction above one", 40, 7, 4, 1.5, "node", "rack", "fraction"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := buildStream(tc.jobs, tc.seed, tc.churn, tc.constraints, tc.preferred, tc.required)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunGeneratedStream pins the end-to-end generated path: the report must
+// carry the policy banner, one line per admitted job and the aggregate
+// metrics.
+func TestRunGeneratedStream(t *testing.T) {
+	stream := sched.StreamConfig{Jobs: 6, Seed: 7, Churn: 4,
+		ConstraintFraction: 0.3, PreferredTier: "node", RequiredTier: "rack"}
+	var buf bytes.Buffer
+	err := run(&buf, "rack:2 node:2 pack:1 core:4 pu:1", "", stream,
+		sched.Options{Policy: sched.TopoAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"policy topo-aware", "j005", "aggregate job time", "fragmentation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report misses %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunWorkloadFile replays a file through -workload, including a
+// required-tier constraint and a comment line.
+func TestRunWorkloadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.txt")
+	content := "# two jobs\n" +
+		"job etl arrive=0 work=1e6 tasks=4 pattern=stencil:2x2 vol=4096 required=rack preferred=node\n" +
+		"job web arrive=100 work=2e6 tasks=2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run(&buf, "rack:2 node:2 pack:1 core:4 pu:1", path, sched.StreamConfig{},
+		sched.Options{Policy: sched.TopoAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "etl") || !strings.Contains(out, "web") {
+		t.Errorf("report misses the replayed jobs:\n%s", out)
+	}
+	if !strings.Contains(out, "2 admitted") {
+		t.Errorf("report misses the admission count:\n%s", out)
+	}
+}
+
+// TestRunErrors: each layer's failure surfaces as a clean error.
+func TestRunErrors(t *testing.T) {
+	stream := sched.StreamConfig{Jobs: 2}
+	badFile := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(badFile, []byte("job x arrive=0 work=1 tasks=0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, platform, workload, wantErr string
+	}{
+		{"bad platform", "nonsense", "", "spec"},
+		{"missing workload", "rack:2 node:2 pack:1 core:4 pu:1", filepath.Join(t.TempDir(), "nope.txt"), "no such file"},
+		{"bad workload line", "rack:2 node:2 pack:1 core:4 pu:1", badFile, "tasks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(&buf, tc.platform, tc.workload, stream, sched.Options{})
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

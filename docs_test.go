@@ -58,7 +58,7 @@ func TestREADMELinksDocs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/TOPOLOGY_SPECS.md"} {
+	for _, doc := range []string{"docs/ARCHITECTURE.md", "docs/TOPOLOGY_SPECS.md", "docs/SCHEDULER.md"} {
 		if _, err := os.Stat(doc); err != nil {
 			t.Errorf("%s missing: %v", doc, err)
 		}

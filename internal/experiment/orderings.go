@@ -76,6 +76,11 @@ func AblationOrderings(exp string) []Ordering {
 			{Before: "fault/fault-blind", After: "fault/static-respawn", Strict: true},
 			{Before: "fault/spread", After: "fault/static-respawn", Strict: true},
 		}
+	case "sched": // A15
+		return []Ordering{
+			{Before: "sched/topo-aware", After: "sched/topo-blind", Strict: true},
+			{Before: "sched/topo-blind", After: "sched/first-fit", Strict: true},
+		}
 	}
 	return nil
 }

@@ -1,0 +1,265 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/numasim"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// The scheduler ablation (A15) leaves the single-program world of A1–A14:
+// instead of placing one task graph and pricing one run, it replays a seeded
+// multi-tenant job stream through the online scheduler and compares how the
+// placement engine's topology awareness compounds over arrivals, departures
+// and re-use of freed capacity. The arms differ only in the scheduler policy:
+// topo-aware walks the preferred→required tier ladder with fit scoring and
+// affinity layout, topo-blind honors the hard required boundary but packs
+// slot-order into the first fitting domain, and first-fit ignores the
+// constraints entirely and scatters round-robin. The metric is the aggregate
+// of job cycle times (finish − arrival summed over admitted jobs), so both
+// service quality (placement) and queueing (packing) count.
+
+// SchedModes lists the arms of the scheduler ablation in report order.
+func SchedModes() []string {
+	return []string{"topo-aware", "topo-blind", "first-fit"}
+}
+
+// SchedConfig parameterizes the A15 scheduler ablation: a grid of platform
+// shapes × stream seeds, every cell replaying the same seeded workload under
+// each policy arm.
+type SchedConfig struct {
+	// Shapes are the platform specs of the grid (default: a two-rack and a
+	// two-pod machine, so the ordering is asserted on both a 2-tier and a
+	// 3-tier domain ladder).
+	Shapes []string
+	// Seeds are the stream seeds of the grid (default 7 and 42).
+	Seeds []int64
+	// Jobs, Churn, ConstraintFraction, PreferredTier, RequiredTier,
+	// WorkCycles, VolumeBytes feed the stream generator (see
+	// sched.StreamConfig; zero values pick that package's defaults, except
+	// the constraint knobs which default here to 0.3 of jobs preferring a
+	// node and requiring a rack).
+	Jobs               int
+	Churn              float64
+	ConstraintFraction float64
+	PreferredTier      string
+	RequiredTier       string
+	WorkCycles         float64
+	VolumeBytes        float64
+	// Fit and Queue select the domain scoring rule and the full-required
+	// policy of every arm (defaults: best-fit, wait).
+	Fit   sched.Fit
+	Queue sched.QueuePolicy
+}
+
+func (c SchedConfig) withDefaults() SchedConfig {
+	if c.Shapes == nil {
+		c.Shapes = []string{
+			"rack:2 node:4 pack:2 core:4 pu:1",
+			"pod:2 rack:2 node:2 pack:2 core:4 pu:1",
+		}
+	}
+	if c.Seeds == nil {
+		c.Seeds = []int64{7, 42}
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 40
+	}
+	if c.Churn == 0 {
+		c.Churn = 4
+	}
+	if c.ConstraintFraction == 0 {
+		c.ConstraintFraction = 0.3
+	}
+	if c.PreferredTier == "" {
+		c.PreferredTier = "node"
+	}
+	if c.RequiredTier == "" {
+		c.RequiredTier = "rack"
+	}
+	return c
+}
+
+// streamConfig builds the generator configuration of one grid cell.
+func (c SchedConfig) streamConfig(seed int64) sched.StreamConfig {
+	return sched.StreamConfig{
+		Jobs:               c.Jobs,
+		Seed:               seed,
+		WorkCycles:         c.WorkCycles,
+		VolumeBytes:        c.VolumeBytes,
+		Churn:              c.Churn,
+		ConstraintFraction: c.ConstraintFraction,
+		PreferredTier:      c.PreferredTier,
+		RequiredTier:       c.RequiredTier,
+	}
+}
+
+// Validate rejects configurations the scheduler pipeline cannot run.
+func (c SchedConfig) Validate() error {
+	d := c.withDefaults()
+	if len(d.Shapes) == 0 {
+		return fmt.Errorf("experiment: sched needs at least one platform shape")
+	}
+	for _, spec := range d.Shapes {
+		if _, err := topology.FromSpec(spec); err != nil {
+			return fmt.Errorf("experiment: sched shape %q: %w", spec, err)
+		}
+	}
+	if len(d.Seeds) == 0 {
+		return fmt.Errorf("experiment: sched needs at least one stream seed")
+	}
+	for _, seed := range d.Seeds {
+		if err := d.streamConfig(seed).Validate(); err != nil {
+			return err
+		}
+	}
+	if d.ConstraintFraction > 0 {
+		// The generator's constraint tiers are validated per job; probe them
+		// here so a misspelled tier fails before any cell runs.
+		probe := sched.JobSpec{
+			Name: "probe", Tasks: 1,
+			Preferred: d.PreferredTier, Required: d.RequiredTier,
+		}
+		if err := probe.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// schedArm maps an A15 mode name to the scheduler policy.
+func schedArm(mode string) (sched.Policy, error) {
+	switch mode {
+	case "topo-aware":
+		return sched.TopoAware, nil
+	case "topo-blind":
+		return sched.TopoBlind, nil
+	case "first-fit":
+		return sched.FirstFit, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown sched mode %q", mode)
+	}
+}
+
+// SchedCell is one (shape, seed) grid cell's scheduler report.
+type SchedCell struct {
+	Shape  string
+	Seed   int64
+	Report *sched.Report
+}
+
+// SchedResult reports one policy arm across the whole grid.
+type SchedResult struct {
+	Mode string
+	// Seconds is the grid total of aggregate job cycle time (finish −
+	// arrival summed over admitted jobs, converted at the default clock) —
+	// the A15 ordering metric.
+	Seconds float64
+	// WallSeconds is the real time the arm took, for the bench gate.
+	WallSeconds float64
+	// Admitted and Rejected total the grid's stream partition.
+	Admitted, Rejected int
+	// FragmentationAvg and BusyUtilization are grid means of the per-run
+	// packed-vs-fragmented metrics (see sched.Report).
+	FragmentationAvg, BusyUtilization float64
+	// Cells holds the per-cell reports, shape-major in grid order.
+	Cells []SchedCell
+}
+
+// String renders a one-line summary.
+func (r SchedResult) String() string {
+	return fmt.Sprintf("%-11s agg=%9.3fs admitted=%d rejected=%d frag=%.3f util=%.3f",
+		r.Mode, r.Seconds, r.Admitted, r.Rejected, r.FragmentationAvg, r.BusyUtilization)
+}
+
+// RunSchedCell replays one seeded stream on one platform shape under one
+// policy arm and returns the scheduler's report.
+func RunSchedCell(mode, shape string, seed int64, cfg SchedConfig) (*sched.Report, error) {
+	policy, err := schedArm(mode)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	jobs, err := sched.GenerateStream(cfg.streamConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	plat, err := numasim.NewPlatform(shape, numasim.Config{})
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.New(plat.Machine(), sched.Options{
+		Policy: policy, Fit: cfg.Fit, Queue: cfg.Queue,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(jobs)
+}
+
+// RunSched executes one policy arm over the full shape × seed grid.
+func RunSched(mode string, cfg SchedConfig) (SchedResult, error) {
+	start := time.Now()
+	if err := cfg.Validate(); err != nil {
+		return SchedResult{}, err
+	}
+	cfg = cfg.withDefaults()
+	res := SchedResult{Mode: mode}
+	var aggCycles, fragSum, utilSum float64
+	for _, shape := range cfg.Shapes {
+		for _, seed := range cfg.Seeds {
+			rep, err := RunSchedCell(mode, shape, seed, cfg)
+			if err != nil {
+				return SchedResult{}, fmt.Errorf("sched %s, shape %q seed %d: %w", mode, shape, seed, err)
+			}
+			aggCycles += rep.AggregateCycles
+			fragSum += rep.FragmentationAvg
+			utilSum += rep.BusyUtilization
+			res.Admitted += rep.Admitted
+			res.Rejected += rep.Rejected
+			res.Cells = append(res.Cells, SchedCell{Shape: shape, Seed: seed, Report: rep})
+		}
+	}
+	cells := float64(len(res.Cells))
+	res.Seconds = aggCycles / topology.DefaultAttrs().ClockHz
+	res.FragmentationAvg = fragSum / cells
+	res.BusyUtilization = utilSum / cells
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// AblationSched (A15) compares the scheduler policy arms on the seeded
+// multi-tenant job stream, summed over the shape × seed grid. The per-cell
+// ordering (each shape and seed separately) is asserted by the experiment
+// tests; the summed rows carry the same assertion into the bench pipeline.
+func AblationSched(cfg SchedConfig) ([]AblationRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, mode := range SchedModes() {
+		res, err := RunSched(mode, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation sched, %s: %w", mode, err)
+		}
+		rows = append(rows, AblationRow{
+			Name:    "sched/" + mode,
+			Seconds: res.Seconds,
+			Detail: fmt.Sprintf("admitted=%d rejected=%d frag=%.3f util=%.3f cells=%d",
+				res.Admitted, res.Rejected, res.FragmentationAvg, res.BusyUtilization, len(res.Cells)),
+			WallSeconds: res.WallSeconds,
+		})
+	}
+	return rows, nil
+}
+
+// SchedConfigFrom derives the scheduler-ablation configuration from the
+// common ablation Config: the grid shapes are fixed (the arms must separate
+// on known domain ladders, not track the A1 core count), and the stream
+// seeds derive from cfg.Seed so -seed still varies the workload.
+func SchedConfigFrom(cfg Config) SchedConfig {
+	cfg = cfg.withDefaults()
+	return SchedConfig{Seeds: []int64{cfg.Seed, cfg.Seed + 35}}
+}

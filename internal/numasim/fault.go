@@ -142,7 +142,7 @@ func (m *Machine) severedPath(fromC, toC int) bool {
 	if fromC == toC {
 		return false
 	}
-	for _, e := range m.fabricGraph.PathEdges(fromC, toC) {
+	for _, e := range m.RoutedPathEdges(fromC, toC) {
 		if m.edgeFaultFactor[e] == 0 {
 			return true
 		}

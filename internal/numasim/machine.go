@@ -182,6 +182,11 @@ type Machine struct {
 	// hasSevered records that some edge factor is 0, so memCostCycles must
 	// check routed paths for unreachability.
 	hasSevered bool
+	// routingPolicy selects minimal or Valiant routing on the fabric graph.
+	// Like the fault state it only changes while the machine is quiesced,
+	// so pricing reads it without the lock. RouteMinimal (the zero value)
+	// keeps pricing bit-identical to earlier revisions.
+	routingPolicy RoutingPolicy
 
 	mu sync.Mutex
 	// accessors[node] is the static contention degree of each memory node:
@@ -669,6 +674,13 @@ func (m *Machine) fabricDivergence(fromC, toC int) int {
 // divergence level instead of a walk over the fabric tree.
 func (m *Machine) fabricLatencyCycles(fromC, toC int) float64 {
 	if len(m.fabricLevels) == 0 {
+		if m.routingPolicy == RouteValiant {
+			var lat float64
+			for _, e := range m.RoutedPathEdges(fromC, toC) {
+				lat += m.edgeLat[e]
+			}
+			return lat
+		}
 		// Shaped fabric: the routed-path latency cache inside the graph
 		// (pinned equal to the reference walk over Route).
 		return m.fabricGraph.PathLatency(fromC, toC)
@@ -691,7 +703,7 @@ func (m *Machine) fabricLatencyCyclesWalk(fromC, toC int) float64 {
 	if len(m.fabricLevels) == 0 {
 		var lat float64
 		edges := m.fabricGraph.Edges()
-		for _, e := range m.fabricGraph.Route(fromC, toC) {
+		for _, e := range m.routeWalk(fromC, toC) {
 			lat += edges[e].LatencyCycles
 		}
 		return lat
@@ -723,7 +735,7 @@ func (m *Machine) fabricLatencyCyclesWalk(fromC, toC int) float64 {
 func (m *Machine) fabricBandwidth(fromC, toC int, streams []int, global int) float64 {
 	bw := math.Inf(1)
 	if len(m.fabricLevels) == 0 {
-		for _, e := range m.fabricGraph.PathEdges(fromC, toC) {
+		for _, e := range m.RoutedPathEdges(fromC, toC) {
 			ebw := m.edgeBW[e]
 			if m.edgeFaultFactor != nil {
 				ebw *= m.edgeFaultFactor[e]
@@ -757,7 +769,7 @@ func (m *Machine) fabricBandwidthWalk(fromC, toC int, streams []int, global int)
 	bw := math.Inf(1)
 	if len(m.fabricLevels) == 0 {
 		edges := m.fabricGraph.Edges()
-		for _, e := range m.fabricGraph.Route(fromC, toC) {
+		for _, e := range m.routeWalk(fromC, toC) {
 			ebw := edges[e].BandwidthBytesPerSec
 			if m.edgeFaultFactor != nil {
 				ebw *= m.edgeFaultFactor[e]

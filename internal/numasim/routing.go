@@ -1,0 +1,93 @@
+package numasim
+
+import "fmt"
+
+// RoutingPolicy selects how transfers are routed over a shaped fabric
+// (torus/dragonfly) when pricing latency and bandwidth.
+type RoutingPolicy int
+
+const (
+	// RouteMinimal prices every transfer along the fabric's minimal route
+	// (the default; identical to all earlier revisions).
+	RouteMinimal RoutingPolicy = iota
+	// RouteValiant prices transfers along a Valiant route: minimal to a
+	// deterministic per-pair intermediate node, then minimal to the
+	// destination. On a dragonfly this spreads adversarial traffic — many
+	// streams between one group pair — across the global links instead of
+	// funnelling them all through the single minimal gateway, trading
+	// doubled path latency for a contention-free share of bandwidth.
+	RouteValiant
+)
+
+// ParseRoutingPolicy maps a CLI name to a RoutingPolicy.
+func ParseRoutingPolicy(name string) (RoutingPolicy, error) {
+	switch name {
+	case "minimal":
+		return RouteMinimal, nil
+	case "valiant":
+		return RouteValiant, nil
+	}
+	return 0, fmt.Errorf("numasim: unknown routing policy %q (want minimal or valiant)", name)
+}
+
+func (p RoutingPolicy) String() string {
+	if p == RouteValiant {
+		return "valiant"
+	}
+	return "minimal"
+}
+
+// SetRoutingPolicy selects the fabric routing policy used by the pricing
+// paths. Valiant routing needs a routed fabric graph (any shaped fabric or
+// compiled tree has one; a single-machine topology does not). Like the fault
+// state, the policy must only change while the machine is quiesced — before
+// Run or inside an epoch hook — because the pricing hot paths read it
+// without taking the lock.
+func (m *Machine) SetRoutingPolicy(p RoutingPolicy) error {
+	if p == RouteValiant && m.fabricGraph == nil {
+		return fmt.Errorf("numasim: valiant routing needs a fabric graph (single-machine topology)")
+	}
+	m.routingPolicy = p
+	return nil
+}
+
+// RoutingPolicy returns the active fabric routing policy.
+func (m *Machine) RoutingPolicy() RoutingPolicy { return m.routingPolicy }
+
+// valiantVia picks the deterministic intermediate node of a pair: a
+// splitmix-style hash of the endpoints spread over all cluster nodes, so a
+// bundle of same-group streams fans out across intermediate groups while
+// identical runs price identically. ValiantRoute degrades to the minimal
+// route when the hash lands on an endpoint.
+func (m *Machine) valiantVia(fromC, toC int) int {
+	h := uint64(fromC+1)*0x9E3779B97F4A7C15 ^ uint64(toC+1)*0xBF58476D1CE4E5B9
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(m.fabricGraph.NumNodes()))
+}
+
+// routeWalk is the uncached counterpart of RoutedPathEdges, used by the
+// reference (walk) pricing implementations so the cache-equality tests
+// compare like against like under either policy.
+func (m *Machine) routeWalk(fromC, toC int) []int {
+	if m.routingPolicy == RouteValiant {
+		return m.fabricGraph.ValiantRoute(fromC, toC, m.valiantVia(fromC, toC))
+	}
+	return m.fabricGraph.Route(fromC, toC)
+}
+
+// RoutedPathEdges returns the edge path a transfer between two cluster nodes
+// is priced along under the active routing policy: the memoized minimal path
+// by default, the Valiant detour under RouteValiant. Nil without a fabric
+// graph. Contention derivations (placement.SetFabricContention) use this so
+// declared per-edge streams always match the paths pricing walks.
+func (m *Machine) RoutedPathEdges(fromC, toC int) []int {
+	if m.fabricGraph == nil {
+		return nil
+	}
+	if m.routingPolicy == RouteValiant {
+		return m.fabricGraph.ValiantRoute(fromC, toC, m.valiantVia(fromC, toC))
+	}
+	return m.fabricGraph.PathEdges(fromC, toC)
+}

@@ -450,7 +450,7 @@ func setRoutedFabricContention(mach *numasim.Machine, a *Assignment, m *comm.Mat
 			if ci == cj {
 				continue
 			}
-			for _, e := range g.PathEdges(ci, cj) {
+			for _, e := range mach.RoutedPathEdges(ci, cj) {
 				used[e] = true
 			}
 		}

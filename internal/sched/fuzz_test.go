@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseJobSpec drives the job-spec grammar with arbitrary input,
+// following the ParsePlatform fuzzer's contract: the parser never panics,
+// and any accepted spec renders canonically — Render∘Parse is a fixed point,
+// so the canonical form re-parses to the identical spec.
+func FuzzParseJobSpec(f *testing.F) {
+	seeds := []string{
+		"job a arrive=0 work=0 tasks=1",
+		"job j03 arrive=1.5e6 work=2e6 tasks=12 pattern=stencil:4x3@7 vol=65536 required=rack preferred=node",
+		"job x arrive=10 work=100 tasks=8 pattern=ring vol=64",
+		"job y arrive=0 work=1 tasks=6 pattern=stencil:3x2 vol=1 required=machine",
+		"job z arrive=0 work=1 tasks=9 pattern=random:3@5 vol=2 preferred=pod required=pod",
+		"job dup arrive=1 arrive=2 tasks=1",
+		"job bad tasks=0",
+		"job bad tasks=-3 arrive=nan",
+		"job hole pattern=stencil:2x2 tasks=5",
+		"not a job line",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		if len(line) > 512 {
+			return
+		}
+		s, err := ParseJobSpec(line)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted spec fails validation: %v\n line: %q", err, line)
+		}
+		canon := s.Render()
+		s2, err := ParseJobSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n line:  %q\n canon: %q", err, line, canon)
+		}
+		if s2 != s {
+			t.Fatalf("round trip changed the spec:\n  %+v\n  %+v", s, s2)
+		}
+		if again := s2.Render(); again != canon {
+			t.Fatalf("render not a fixed point:\n  %q\n  %q", canon, again)
+		}
+		// The matrix generator must accept anything validation accepted
+		// (bounded: the fuzzer caps tasks via Validate's range check, and
+		// large task counts stay cheap in sparse storage).
+		if s.Tasks <= 1<<12 {
+			if _, err := s.Matrix(); err != nil {
+				t.Fatalf("matrix generation failed for valid spec %q: %v", canon, err)
+			}
+		}
+	})
+}
+
+// FuzzParseWorkload feeds whole files: no panics, and an accepted workload
+// renders back to an equivalent workload.
+func FuzzParseWorkload(f *testing.F) {
+	f.Add("# comment\n\njob a arrive=0 work=1 tasks=2\njob b arrive=5 work=1 tasks=4 pattern=stencil:2x2\n")
+	f.Add("job a arrive=0 work=1 tasks=2\njob a arrive=1 work=1 tasks=2\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 4096 {
+			return
+		}
+		jobs, err := ParseWorkload(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var lines []string
+		for _, j := range jobs {
+			lines = append(lines, j.Render())
+		}
+		again, err := ParseWorkload(strings.NewReader(strings.Join(lines, "\n")))
+		if err != nil {
+			t.Fatalf("canonical workload rejected: %v", err)
+		}
+		if len(again) != len(jobs) {
+			t.Fatalf("round trip changed job count: %d vs %d", len(jobs), len(again))
+		}
+		for i := range jobs {
+			if jobs[i] != again[i] {
+				t.Fatalf("job %d changed:\n  %+v\n  %+v", i, jobs[i], again[i])
+			}
+		}
+	})
+}

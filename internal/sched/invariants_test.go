@@ -1,0 +1,291 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// Property-based scheduler invariants over seeded random streams, the
+// online-scheduling extension of the placement property suite: admitted jobs
+// stay inside their required domain, no core slot is double-booked across
+// concurrently resident jobs, a departure returns the free-capacity index
+// exactly to its prior state, and identical seeds give bit-identical
+// schedules.
+
+// invariantCases spans the policies and both fit rules over two fabric
+// shapes and several stream seeds.
+func invariantCases() []struct {
+	name string
+	spec string
+	opts Options
+	seed int64
+} {
+	var out []struct {
+		name string
+		spec string
+		opts Options
+		seed int64
+	}
+	shapes := []struct{ name, spec string }{
+		{"rack2x4", "rack:2 node:4 pack:2 core:4 pu:1"},
+		{"pod2", "pod:2 rack:2 node:2 pack:2 core:4 pu:1"},
+	}
+	opts := []struct {
+		name string
+		o    Options
+	}{
+		{"aware-best", Options{Policy: TopoAware, Fit: BestFit}},
+		{"aware-worst", Options{Policy: TopoAware, Fit: WorstFit}},
+		{"aware-reject", Options{Policy: TopoAware, Queue: QueueReject}},
+		{"blind", Options{Policy: TopoBlind}},
+		{"first-fit", Options{Policy: FirstFit}},
+	}
+	for _, sh := range shapes {
+		for _, op := range opts {
+			for _, seed := range []int64{1, 7, 42} {
+				out = append(out, struct {
+					name string
+					spec string
+					opts Options
+					seed int64
+				}{sh.name + "/" + op.name, sh.spec, op.o, seed})
+			}
+		}
+	}
+	return out
+}
+
+func invariantStream(t *testing.T, seed int64) []JobSpec {
+	t.Helper()
+	jobs, err := GenerateStream(StreamConfig{Jobs: 30, Seed: seed, Churn: 5,
+		ConstraintFraction: 0.4, PreferredTier: "node", RequiredTier: "rack"})
+	if err != nil {
+		t.Fatalf("GenerateStream: %v", err)
+	}
+	return jobs
+}
+
+// TestSchedulerInvariants replays every case and checks containment,
+// exclusivity and end-state restoration on the same run.
+func TestSchedulerInvariants(t *testing.T) {
+	for _, tc := range invariantCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			mach := schedMachine(t, tc.spec)
+			topo := mach.Topology()
+			s, err := New(mach, tc.opts)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			before := s.Capacity().Fingerprint()
+			rep, err := s.Run(invariantStream(t, tc.seed))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+
+			// Departures restored the index exactly: after the full run every
+			// job has released its slots, and the incremental aggregates agree
+			// with a from-scratch recount.
+			if after := s.Capacity().Fingerprint(); after != before {
+				t.Fatalf("capacity index not restored:\n before %s\n after  %s", before, after)
+			}
+			if err := s.Capacity().Validate(); err != nil {
+				t.Fatalf("capacity index inconsistent: %v", err)
+			}
+
+			rackOfNode := nodeTierIndex(topo, topology.Rack)
+			type interval struct {
+				start, finish float64
+				cores         []int
+			}
+			var placed []interval
+			for _, j := range rep.Jobs {
+				if j.Rejected {
+					continue
+				}
+				if len(j.Cores) != j.Tasks {
+					t.Fatalf("job %s: %d cores for %d tasks", j.Name, len(j.Cores), j.Tasks)
+				}
+				// Containment: every core inside the job's reported domain;
+				// for required-constrained jobs under the constraint-honoring
+				// policies that domain is itself inside the required tier.
+				if tc.opts.Policy != FirstFit {
+					checkContainment(t, s, topo, rackOfNode, j)
+				}
+				placed = append(placed, interval{j.StartCycles, j.FinishCycles, j.Cores})
+			}
+
+			// Exclusivity: no core serves two jobs whose residency overlaps.
+			for i := 0; i < len(placed); i++ {
+				for k := i + 1; k < len(placed); k++ {
+					a, b := placed[i], placed[k]
+					if a.start >= b.finish || b.start >= a.finish {
+						continue
+					}
+					if c := sharedCore(a.cores, b.cores); c >= 0 {
+						t.Fatalf("core %d double-booked by overlapping jobs [%v,%v) and [%v,%v)",
+							c, a.start, a.finish, b.start, b.finish)
+					}
+				}
+			}
+		})
+	}
+}
+
+// nodeTierIndex maps every cluster node to its domain index at the tier (-1
+// without that tier).
+func nodeTierIndex(topo *topology.Topology, tier topology.Kind) []int {
+	out := make([]int, topo.NumClusterNodes())
+	for i := range out {
+		out[i] = -1
+	}
+	for d, dom := range topo.FabricDomains(tier) {
+		for _, n := range dom.Nodes {
+			out[n] = d
+		}
+	}
+	return out
+}
+
+// checkContainment verifies the job's cores all sit inside the domain it
+// reports, and that a required=rack job never leaves one rack.
+func checkContainment(t *testing.T, s *Scheduler, topo *topology.Topology, rackOfNode []int, j JobStat) {
+	t.Helper()
+	racks := map[int]bool{}
+	for _, core := range j.Cores {
+		racks[rackOfNode[s.cap.nodeOf[core]]] = true
+	}
+	switch j.Tier {
+	case "node":
+		if j.NodesSpanned != 1 {
+			t.Fatalf("job %s: tier node but spans %d nodes", j.Name, j.NodesSpanned)
+		}
+	case "rack":
+		if len(racks) != 1 {
+			t.Fatalf("job %s: tier rack but touches racks %v", j.Name, racks)
+		}
+		if !racks[j.Domain] {
+			t.Fatalf("job %s: reported rack %d but sits in %v", j.Name, j.Domain, racks)
+		}
+	}
+}
+
+func sharedCore(a, b []int) int {
+	set := map[int]bool{}
+	for _, c := range a {
+		set[c] = true
+	}
+	for _, c := range b {
+		if set[c] {
+			return c
+		}
+	}
+	return -1
+}
+
+// TestSchedulerDeterminism: identical seeds give bit-identical schedules,
+// including all float aggregates.
+func TestSchedulerDeterminism(t *testing.T) {
+	for _, tc := range invariantCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			jobs := invariantStream(t, tc.seed)
+			run := func() *Report {
+				rep := mustRun(t, schedMachine(t, tc.spec), tc.opts, jobs)
+				return rep
+			}
+			a, b := run(), run()
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same seed, different schedules:\n%+v\n%+v", a, b)
+			}
+		})
+	}
+}
+
+// TestCapacityBindReleaseRestores drives the index directly with random
+// bind/release pairs: each release returns the fingerprint to the exact
+// pre-bind state, and the incremental aggregates never drift from a full
+// recount.
+func TestCapacityBindReleaseRestores(t *testing.T) {
+	topo, err := topology.FromSpec("pod:2 rack:2 node:2 pack:2 core:4 pu:1")
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	c, err := NewCapacity(topo)
+	if err != nil {
+		t.Fatalf("NewCapacity: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	type bound struct {
+		cores []int
+		prior string
+	}
+	var resident []bound
+	for step := 0; step < 400; step++ {
+		if rng.Intn(2) == 0 && c.FreeTotal() > 0 {
+			// Bind a random subset of the free slots.
+			var free []int
+			for n := range c.free {
+				free = append(free, c.free[n]...)
+			}
+			sort.Ints(free)
+			rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+			k := 1 + rng.Intn(len(free))
+			cores := append([]int(nil), free[:k]...)
+			prior := c.Fingerprint()
+			if err := c.Bind(cores); err != nil {
+				t.Fatalf("step %d: bind %v: %v", step, cores, err)
+			}
+			resident = append(resident, bound{cores, prior})
+		} else if len(resident) > 0 {
+			// Release the most recent binding: state must return exactly.
+			last := resident[len(resident)-1]
+			resident = resident[:len(resident)-1]
+			if err := c.Release(last.cores); err != nil {
+				t.Fatalf("step %d: release %v: %v", step, last.cores, err)
+			}
+			if got := c.Fingerprint(); got != last.prior {
+				t.Fatalf("step %d: release did not restore state:\n want %s\n got  %s", step, last.prior, got)
+			}
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// TestCapacityRejectsBadSlots: double bind, foreign release, out-of-range.
+func TestCapacityRejectsBadSlots(t *testing.T) {
+	topo, err := topology.FromSpec("cluster:2 pack:1 core:4 pu:1")
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	c, err := NewCapacity(topo)
+	if err != nil {
+		t.Fatalf("NewCapacity: %v", err)
+	}
+	if err := c.Bind([]int{0, 1}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	if err := c.Bind([]int{1}); err == nil {
+		t.Fatal("double bind accepted")
+	}
+	if err := c.Release([]int{2}); err == nil {
+		t.Fatal("release of free slot accepted")
+	}
+	if err := c.Bind([]int{99}); err == nil {
+		t.Fatal("out-of-range bind accepted")
+	}
+	if err := c.Bind([]int{2, 2}); err == nil {
+		t.Fatal("duplicate bind accepted")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("index left inconsistent: %v", err)
+	}
+}

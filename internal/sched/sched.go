@@ -1,0 +1,679 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/comm"
+	"repro/internal/numasim"
+	"repro/internal/placement"
+	"repro/internal/topology"
+	"repro/internal/treematch"
+)
+
+// Policy selects the placement strategy of the scheduler.
+type Policy int
+
+const (
+	// TopoAware is the full system: preferred-tier fallback, fit-scored
+	// domain choice, affinity-aware intra-domain layout via the placement
+	// engine restricted to the domain's free slots.
+	TopoAware Policy = iota
+	// TopoBlind honors required constraints but ignores preferred tiers
+	// and domain scoring: the first (lowest-index) domain that fits wins
+	// and tasks fill its free slots in plain core order.
+	TopoBlind
+	// FirstFit is the topology-oblivious baseline: constraints are not
+	// understood at all, and tasks scatter round-robin across the nodes'
+	// free slots.
+	FirstFit
+)
+
+var policyNames = map[Policy]string{TopoAware: "topo-aware", TopoBlind: "topo-blind", FirstFit: "first-fit"}
+
+func (p Policy) String() string { return policyNames[p] }
+
+// ParsePolicy maps a CLI name to a Policy.
+func ParsePolicy(name string) (Policy, error) {
+	for p, n := range policyNames {
+		if n == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q (want topo-aware, topo-blind or first-fit)", name)
+}
+
+// Fit selects how the topology-aware policy scores candidate domains.
+type Fit int
+
+const (
+	// BestFit packs: among fitting domains the one with the least free
+	// capacity wins, keeping large domains whole for large jobs.
+	BestFit Fit = iota
+	// WorstFit spreads: the domain with the most free capacity wins.
+	WorstFit
+)
+
+// ParseFit maps a CLI name to a Fit rule.
+func ParseFit(name string) (Fit, error) {
+	switch name {
+	case "best":
+		return BestFit, nil
+	case "worst":
+		return WorstFit, nil
+	}
+	return 0, fmt.Errorf("sched: unknown fit rule %q (want best or worst)", name)
+}
+
+func (f Fit) String() string {
+	if f == WorstFit {
+		return "worst"
+	}
+	return "best"
+}
+
+// QueuePolicy decides what happens to a job whose required tier is full at
+// placement time.
+type QueuePolicy int
+
+const (
+	// QueueWait keeps the job at the head of the FIFO queue until
+	// capacity frees up.
+	QueueWait QueuePolicy = iota
+	// QueueReject drops a required-constrained job immediately when no
+	// domain of its allowed tiers currently fits it; unconstrained jobs
+	// always wait.
+	QueueReject
+)
+
+// ParseQueuePolicy maps a CLI name to a QueuePolicy.
+func ParseQueuePolicy(name string) (QueuePolicy, error) {
+	switch name {
+	case "wait":
+		return QueueWait, nil
+	case "reject":
+		return QueueReject, nil
+	}
+	return 0, fmt.Errorf("sched: unknown queue policy %q (want wait or reject)", name)
+}
+
+func (q QueuePolicy) String() string {
+	if q == QueueReject {
+		return "reject"
+	}
+	return "wait"
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	Policy Policy
+	Fit    Fit
+	Queue  QueuePolicy
+	// Match tunes the underlying placement heuristics (zero value is the
+	// engine's default portfolio).
+	Match treematch.Options
+}
+
+// Scheduler is the online multi-tenant scheduler: one instance owns the
+// platform's free-capacity index and replays a workload stream through its
+// event loop. A Scheduler is single-goroutine; Run is not reentrant.
+type Scheduler struct {
+	mach *numasim.Machine
+	topo *topology.Topology
+	cap  *Capacity
+	opts Options
+	// coreOfPU maps a PU OS index back to its core level index.
+	coreOfPU map[int]int
+	// nodeCores counts the total core slots of every cluster node.
+	nodeCores []int
+}
+
+// New builds a scheduler for the machine.
+func New(mach *numasim.Machine, opts Options) (*Scheduler, error) {
+	if mach == nil {
+		return nil, fmt.Errorf("sched: scheduler requires a machine")
+	}
+	topo := mach.Topology()
+	cap, err := NewCapacity(topo)
+	if err != nil {
+		return nil, err
+	}
+	coreOfPU := map[int]int{}
+	nodeCores := make([]int, topo.NumClusterNodes())
+	for ci, core := range topo.Cores() {
+		for _, pu := range core.Children {
+			coreOfPU[pu.OSIndex] = ci
+		}
+		nodeCores[cap.nodeOf[ci]]++
+	}
+	return &Scheduler{mach: mach, topo: topo, cap: cap, opts: opts, coreOfPU: coreOfPU, nodeCores: nodeCores}, nil
+}
+
+// Capacity exposes the live free-capacity index (read-only use).
+func (s *Scheduler) Capacity() *Capacity { return s.cap }
+
+// JobStat reports one job's fate.
+type JobStat struct {
+	Name  string
+	Tasks int
+	// Cycle timeline: Wait = Start − Arrive, Finish = Start + Service.
+	ArriveCycles, StartCycles, FinishCycles float64
+	WaitCycles, ServiceCycles, CommCycles   float64
+	// Tier and Domain identify the fabric domain the job was placed into.
+	Tier   string
+	Domain int
+	// Cores lists the bound core level indices, ascending.
+	Cores []int
+	// NodesSpanned counts distinct cluster nodes of the placement.
+	NodesSpanned int
+	Rejected     bool
+	RejectReason string
+}
+
+// Report aggregates one scheduler run.
+type Report struct {
+	Policy string
+	Jobs   []JobStat
+	// Admitted/Rejected partition the stream.
+	Admitted, Rejected int
+	// AggregateCycles sums finish − arrival over admitted jobs — the A15
+	// ordering metric (placement quality shortens service, packing
+	// shortens waits).
+	AggregateCycles float64
+	// MakespanCycles is the departure time of the last job.
+	MakespanCycles float64
+	// WaitCycles sums queueing delay over admitted jobs.
+	WaitCycles float64
+	// BusyUtilization is Σ tasks·service / (cores · makespan): the slot
+	// occupancy achieved over the run.
+	BusyUtilization float64
+	// FragmentationAvg is the time-weighted mean of 1 − maxNodeFree/totalFree:
+	// 0 when the free capacity sits in whole nodes (packed), approaching 1
+	// when it is shredded into slivers across many nodes (fragmented).
+	FragmentationAvg float64
+	// AvgSpread is the mean node count spanned by admitted jobs.
+	AvgSpread float64
+}
+
+// jobState tracks one in-flight job through the event loop.
+type jobState struct {
+	spec JobSpec
+	seq  int
+	stat *JobStat
+}
+
+// departure orders the running set by (finish, seq).
+type departure struct {
+	finish float64
+	seq    int
+	cores  []int
+	stat   *JobStat
+}
+
+type departureHeap []departure
+
+func (h departureHeap) Len() int { return len(h) }
+func (h departureHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h departureHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x any)   { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// Run replays the workload stream through the event loop and returns the
+// report. Jobs are admitted FIFO in arrival order (ties broken by input
+// order); the virtual clock advances from arrival to departure events and
+// the free-capacity index binds and releases slots as jobs start and finish.
+func (s *Scheduler) Run(jobs []JobSpec) (*Report, error) {
+	rep := &Report{Policy: s.opts.Policy.String(), Jobs: make([]JobStat, len(jobs))}
+	states := make([]*jobState, len(jobs))
+	for i, spec := range jobs {
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		rep.Jobs[i] = JobStat{Name: spec.Name, Tasks: spec.Tasks, ArriveCycles: spec.ArriveCycles}
+		states[i] = &jobState{spec: spec, seq: i, stat: &rep.Jobs[i]}
+	}
+	order := make([]*jobState, len(states))
+	copy(order, states)
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].spec.ArriveCycles < order[j].spec.ArriveCycles
+	})
+
+	var (
+		queue   []*jobState
+		running departureHeap
+		clock   float64
+		fragInt float64
+		busy    float64
+		next    int
+	)
+	weight := func() float64 {
+		total := s.cap.FreeTotal()
+		if total == 0 {
+			return 0
+		}
+		return 1 - float64(s.cap.MaxNodeFree())/float64(total)
+	}
+	advance := func(t float64) {
+		if t > clock {
+			fragInt += weight() * (t - clock)
+			clock = t
+		}
+	}
+
+	drain := func() error {
+		for len(queue) > 0 {
+			j := queue[0]
+			placed, full, err := s.tryPlace(j)
+			if err != nil {
+				return err
+			}
+			if placed == nil {
+				if full && j.spec.Required != "" && s.opts.Queue == QueueReject {
+					j.stat.Rejected = true
+					j.stat.RejectReason = "required tier full"
+					rep.Rejected++
+					queue = queue[1:]
+					continue
+				}
+				return nil // FIFO head waits; everything behind it waits too
+			}
+			if err := s.cap.Bind(placed.cores); err != nil {
+				return fmt.Errorf("sched: bind %s: %w", j.spec.Name, err)
+			}
+			st := j.stat
+			st.StartCycles = clock
+			st.WaitCycles = clock - st.ArriveCycles
+			st.CommCycles = placed.comm
+			st.ServiceCycles = j.spec.WorkCycles + placed.comm
+			st.FinishCycles = clock + st.ServiceCycles
+			st.Tier = placed.tier
+			st.Domain = placed.domain
+			st.Cores = placed.cores
+			st.NodesSpanned = placed.nodes
+			busy += float64(j.spec.Tasks) * st.ServiceCycles
+			heap.Push(&running, departure{finish: st.FinishCycles, seq: j.seq, cores: placed.cores, stat: st})
+			queue = queue[1:]
+		}
+		return nil
+	}
+
+	for next < len(order) || running.Len() > 0 {
+		tArr, tDep := math.Inf(1), math.Inf(1)
+		if next < len(order) {
+			tArr = order[next].spec.ArriveCycles
+		}
+		if running.Len() > 0 {
+			tDep = running[0].finish
+		}
+		t := tArr
+		if tDep < t {
+			t = tDep
+		}
+		advance(t)
+		for running.Len() > 0 && running[0].finish == clock {
+			d := heap.Pop(&running).(departure)
+			if err := s.cap.Release(d.cores); err != nil {
+				return nil, fmt.Errorf("sched: release %s: %w", d.stat.Name, err)
+			}
+		}
+		for next < len(order) && order[next].spec.ArriveCycles == clock {
+			j := order[next]
+			next++
+			if reason := s.infeasible(j.spec); reason != "" {
+				j.stat.Rejected = true
+				j.stat.RejectReason = reason
+				rep.Rejected++
+				continue
+			}
+			queue = append(queue, j)
+		}
+		if err := drain(); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := range rep.Jobs {
+		st := &rep.Jobs[i]
+		if st.Rejected {
+			continue
+		}
+		rep.Admitted++
+		rep.AggregateCycles += st.FinishCycles - st.ArriveCycles
+		rep.WaitCycles += st.WaitCycles
+		rep.AvgSpread += float64(st.NodesSpanned)
+		if st.FinishCycles > rep.MakespanCycles {
+			rep.MakespanCycles = st.FinishCycles
+		}
+	}
+	if rep.Admitted > 0 {
+		rep.AvgSpread /= float64(rep.Admitted)
+	}
+	if rep.MakespanCycles > 0 {
+		rep.BusyUtilization = busy / (float64(s.topo.NumCores()) * rep.MakespanCycles)
+		rep.FragmentationAvg = fragInt / rep.MakespanCycles
+	}
+	return rep, nil
+}
+
+// infeasible reports why a job can never run on this platform, or "" when it
+// can. FirstFit ignores constraints, so only raw capacity counts there.
+func (s *Scheduler) infeasible(spec JobSpec) string {
+	if spec.Tasks > s.topo.NumCores() {
+		return fmt.Sprintf("%d tasks exceed %d cores", spec.Tasks, s.topo.NumCores())
+	}
+	if s.opts.Policy == FirstFit {
+		return ""
+	}
+	tiers, err := s.tierLadder(spec)
+	if err != nil {
+		return err.Error()
+	}
+	widest := tiers[len(tiers)-1]
+	max := 0
+	for d := range s.cap.Domains(widest) {
+		if c := s.domainCapacity(widest, d); c > max {
+			max = c
+		}
+	}
+	if spec.Tasks > max {
+		return fmt.Sprintf("%d tasks exceed the %d-core capacity of every %s domain", spec.Tasks, max, tierName(widest))
+	}
+	return ""
+}
+
+// domainCapacity is the total (free or bound) slot count of a domain.
+func (s *Scheduler) domainCapacity(tier topology.Kind, d int) int {
+	total := 0
+	for _, n := range s.cap.Domains(tier)[d].Nodes {
+		total += s.nodeCores[n]
+	}
+	return total
+}
+
+// tierName maps a topology kind back to the constraint grammar's name.
+func tierName(k topology.Kind) string {
+	switch k {
+	case topology.Cluster:
+		return "node"
+	case topology.Rack:
+		return "rack"
+	case topology.Pod:
+		return "pod"
+	}
+	return "machine"
+}
+
+// tierKind resolves a constraint tier name against the platform, erroring on
+// tiers the platform does not have.
+func (s *Scheduler) tierKind(name string) (topology.Kind, error) {
+	var k topology.Kind
+	switch name {
+	case "node":
+		k = topology.Cluster
+	case "rack":
+		k = topology.Rack
+	case "pod":
+		k = topology.Pod
+	case "machine", "":
+		return topology.Machine, nil
+	default:
+		return 0, fmt.Errorf("unknown tier %q", name)
+	}
+	for _, have := range s.topo.DomainTiers() {
+		if have == k {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("platform has no %s tier", name)
+}
+
+// tierLadder lists the tiers a job may be placed at, narrowest first:
+// from its preferred tier (default: narrowest) widening up to its required
+// tier (default: the whole machine).
+func (s *Scheduler) tierLadder(spec JobSpec) ([]topology.Kind, error) {
+	all := s.topo.DomainTiers()
+	lo, hi := 0, len(all)-1
+	if spec.Preferred != "" {
+		k, err := s.tierKind(spec.Preferred)
+		if err != nil {
+			return nil, err
+		}
+		lo = tierIndex(all, k)
+	}
+	if spec.Required != "" {
+		k, err := s.tierKind(spec.Required)
+		if err != nil {
+			return nil, err
+		}
+		hi = tierIndex(all, k)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return all[lo : hi+1], nil
+}
+
+func tierIndex(tiers []topology.Kind, k topology.Kind) int {
+	for i, t := range tiers {
+		if t == k {
+			return i
+		}
+	}
+	return len(tiers) - 1
+}
+
+// placementResult carries one successful placement attempt.
+type placementResult struct {
+	cores  []int
+	comm   float64
+	tier   string
+	domain int
+	nodes  int
+}
+
+// tryPlace attempts to place the job now. Returns (nil, full, nil) when no
+// allowed domain currently fits: full distinguishes "no capacity in the
+// allowed tiers" for the queue policy.
+func (s *Scheduler) tryPlace(j *jobState) (*placementResult, bool, error) {
+	spec := j.spec
+	switch s.opts.Policy {
+	case FirstFit:
+		if s.cap.FreeTotal() < spec.Tasks {
+			return nil, true, nil
+		}
+		return s.placeScatter(spec)
+	case TopoBlind:
+		tiers, err := s.tierLadder(spec)
+		if err != nil {
+			return nil, false, err
+		}
+		tier := tiers[len(tiers)-1] // required tier (or machine): preferred ignored
+		for d := range s.cap.Domains(tier) {
+			if s.cap.DomainFree(tier, d) >= spec.Tasks {
+				return s.placeSlotOrder(spec, tier, d)
+			}
+		}
+		return nil, true, nil
+	default: // TopoAware
+		tiers, err := s.tierLadder(spec)
+		if err != nil {
+			return nil, false, err
+		}
+		for _, tier := range tiers {
+			best := -1
+			for d := range s.cap.Domains(tier) {
+				free := s.cap.DomainFree(tier, d)
+				if free < spec.Tasks {
+					continue
+				}
+				if best < 0 {
+					best = d
+					continue
+				}
+				bf := s.cap.DomainFree(tier, best)
+				if (s.opts.Fit == BestFit && free < bf) || (s.opts.Fit == WorstFit && free > bf) {
+					best = d
+				}
+			}
+			if best >= 0 {
+				return s.placeAware(spec, tier, best)
+			}
+		}
+		return nil, true, nil
+	}
+}
+
+// placeAware runs the affinity-aware intra-domain layout: choose the fewest
+// nodes (largest free counts first) that hold the job, then delegate to the
+// placement engine restricted to those free slots.
+func (s *Scheduler) placeAware(spec JobSpec, tier topology.Kind, d int) (*placementResult, bool, error) {
+	dom := s.cap.Domains(tier)[d]
+	nodes := append([]int(nil), dom.Nodes...)
+	sort.SliceStable(nodes, func(i, j int) bool {
+		fi, fj := s.cap.NodeFree(nodes[i]), s.cap.NodeFree(nodes[j])
+		if fi != fj {
+			return fi > fj
+		}
+		return nodes[i] < nodes[j]
+	})
+	var chosen []int
+	got := 0
+	for _, n := range nodes {
+		if got >= spec.Tasks {
+			break
+		}
+		if s.cap.NodeFree(n) == 0 {
+			continue
+		}
+		chosen = append(chosen, n)
+		got += s.cap.NodeFree(n)
+	}
+	sort.Ints(chosen)
+	m, err := spec.Matrix()
+	if err != nil {
+		return nil, false, err
+	}
+	a, err := placement.AssignFreeSlots(s.mach, m, s.cap.FreeSlots(chosen), s.opts.Match)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.finishPlacement(spec, m, a.TaskPU, tier, d)
+}
+
+// placeSlotOrder fills the domain's free slots in plain core order — the
+// topology-blind arm's layout.
+func (s *Scheduler) placeSlotOrder(spec JobSpec, tier topology.Kind, d int) (*placementResult, bool, error) {
+	dom := s.cap.Domains(tier)[d]
+	var slots []int
+	for _, n := range dom.Nodes {
+		slots = append(slots, s.cap.free[n]...)
+	}
+	sort.Ints(slots)
+	return s.placeOnSlots(spec, slots[:spec.Tasks], tier, d)
+}
+
+// placeScatter deals the free slots round-robin across cluster nodes — the
+// classic load-balancing baseline that ignores topology entirely.
+func (s *Scheduler) placeScatter(spec JobSpec) (*placementResult, bool, error) {
+	var slots []int
+	for depth := 0; len(slots) < spec.Tasks; depth++ {
+		advanced := false
+		for n := range s.cap.free {
+			if depth < len(s.cap.free[n]) {
+				slots = append(slots, s.cap.free[n][depth])
+				advanced = true
+				if len(slots) == spec.Tasks {
+					break
+				}
+			}
+		}
+		if !advanced {
+			return nil, true, nil
+		}
+	}
+	tier := topology.Machine
+	return s.placeOnSlots(spec, slots, tier, 0)
+}
+
+// placeOnSlots binds task i to slot i (identity layout).
+func (s *Scheduler) placeOnSlots(spec JobSpec, slots []int, tier topology.Kind, d int) (*placementResult, bool, error) {
+	m, err := spec.Matrix()
+	if err != nil {
+		return nil, false, err
+	}
+	taskPU := make([]int, spec.Tasks)
+	for t, core := range slots {
+		taskPU[t] = s.topo.Cores()[core].Children[0].OSIndex
+	}
+	return s.finishPlacement(spec, m, taskPU, tier, d)
+}
+
+// finishPlacement prices the communication of a placement and packages the
+// result.
+func (s *Scheduler) finishPlacement(spec JobSpec, m *comm.Matrix, taskPU []int, tier topology.Kind, d int) (*placementResult, bool, error) {
+	cores := make([]int, len(taskPU))
+	nodes := map[int]bool{}
+	for t, pu := range taskPU {
+		core, ok := s.coreOfPU[pu]
+		if !ok {
+			return nil, false, fmt.Errorf("sched: task %d bound to unknown PU %d", t, pu)
+		}
+		cores[t] = core
+		nodes[s.cap.nodeOf[core]] = true
+	}
+	sorted := append([]int(nil), cores...)
+	sort.Ints(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, false, fmt.Errorf("sched: core %d assigned twice", sorted[i])
+		}
+	}
+	commCycles := 0.0
+	for i := 0; i < m.Order(); i++ {
+		m.ForEachNeighbor(i, func(jdx int, vol float64) {
+			if jdx != i {
+				commCycles += s.mach.TransferCost(taskPU[i], taskPU[jdx], vol)
+			}
+		})
+	}
+	return &placementResult{
+		cores:  sorted,
+		comm:   commCycles,
+		tier:   tierName(tier),
+		domain: d,
+		nodes:  len(nodes),
+	}, false, nil
+}
+
+// FormatReport renders the per-job table and the aggregate block the
+// cmd/sched CLI prints.
+func FormatReport(rep *Report, mach *numasim.Machine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy %s: %d admitted, %d rejected\n", rep.Policy, rep.Admitted, rep.Rejected)
+	fmt.Fprintf(&b, "%-10s %6s %10s %10s %10s  %s\n", "job", "tasks", "wait(s)", "service(s)", "cycle(s)", "placement")
+	for _, j := range rep.Jobs {
+		if j.Rejected {
+			fmt.Fprintf(&b, "%-10s %6d %10s %10s %10s  rejected: %s\n", j.Name, j.Tasks, "-", "-", "-", j.RejectReason)
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %6d %10.6f %10.6f %10.6f  %s[%d] over %d node(s)\n",
+			j.Name, j.Tasks,
+			mach.CyclesToSeconds(j.WaitCycles),
+			mach.CyclesToSeconds(j.ServiceCycles),
+			mach.CyclesToSeconds(j.FinishCycles-j.ArriveCycles),
+			j.Tier, j.Domain, j.NodesSpanned)
+	}
+	fmt.Fprintf(&b, "aggregate job time %.6fs  makespan %.6fs  wait %.6fs\n",
+		mach.CyclesToSeconds(rep.AggregateCycles), mach.CyclesToSeconds(rep.MakespanCycles), mach.CyclesToSeconds(rep.WaitCycles))
+	fmt.Fprintf(&b, "utilization %.3f  fragmentation %.3f  avg spread %.2f nodes\n",
+		rep.BusyUtilization, rep.FragmentationAvg, rep.AvgSpread)
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// StreamConfig parameterizes the seeded workload generator. The generator is
+// platform-agnostic: it emits JobSpecs whose constraint tiers are chosen
+// from the configured names, and the scheduler validates them against the
+// actual platform at admission time.
+type StreamConfig struct {
+	// Jobs is the stream length.
+	Jobs int
+	// Seed drives every random draw; identical configs give identical
+	// streams.
+	Seed int64
+	// Sizes is the task-count mix jobs draw from uniformly. Every size
+	// must have a stencil factorization (the generator picks the most
+	// square one).
+	Sizes []int
+	// WorkCycles is the mean compute demand; each job draws uniformly in
+	// [0.5, 1.5) of it.
+	WorkCycles float64
+	// VolumeBytes is the per-edge communication volume.
+	VolumeBytes float64
+	// Churn scales the arrival rate: mean interarrival = WorkCycles/Churn,
+	// so higher churn overlaps more jobs and fragments the machine harder.
+	Churn float64
+	// ConstraintFraction of jobs carry topology constraints
+	// (preferred=PreferredTier, required=RequiredTier).
+	ConstraintFraction float64
+	// PreferredTier and RequiredTier are the constraint tiers of the
+	// constrained fraction ("" disables that side).
+	PreferredTier, RequiredTier string
+}
+
+func (cfg StreamConfig) withDefaults() StreamConfig {
+	if cfg.Jobs == 0 {
+		cfg.Jobs = 40
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{4, 6, 8, 12, 16}
+	}
+	if cfg.WorkCycles == 0 {
+		cfg.WorkCycles = 2e6
+	}
+	if cfg.VolumeBytes == 0 {
+		cfg.VolumeBytes = 64 << 10
+	}
+	if cfg.Churn == 0 {
+		cfg.Churn = 4
+	}
+	return cfg
+}
+
+// Validate rejects unusable stream parameters.
+func (cfg StreamConfig) Validate() error {
+	cfg = cfg.withDefaults()
+	if cfg.Jobs < 1 || cfg.Jobs > 1<<20 {
+		return fmt.Errorf("sched: stream jobs %d out of range", cfg.Jobs)
+	}
+	if cfg.Churn <= 0 || math.IsNaN(cfg.Churn) || math.IsInf(cfg.Churn, 0) {
+		return fmt.Errorf("sched: stream churn %v out of range", cfg.Churn)
+	}
+	if cfg.ConstraintFraction < 0 || cfg.ConstraintFraction > 1 || math.IsNaN(cfg.ConstraintFraction) {
+		return fmt.Errorf("sched: constraint fraction %v out of range [0,1]", cfg.ConstraintFraction)
+	}
+	for _, n := range cfg.Sizes {
+		if n < 1 {
+			return fmt.Errorf("sched: stream size %d out of range", n)
+		}
+	}
+	return nil
+}
+
+// squarestDims returns the most square WxH factorization of n (W >= H).
+func squarestDims(n int) (int, int) {
+	for h := int(math.Sqrt(float64(n))); h >= 1; h-- {
+		if n%h == 0 {
+			return n / h, h
+		}
+	}
+	return n, 1
+}
+
+// GenerateStream emits a deterministic job stream: arrivals are a Poisson
+// process at rate Churn/WorkCycles, task graphs are seed-scrambled stencils
+// (so slot-order placement scatters the heavy edges), and a configured
+// fraction of jobs carries required/preferred topology constraints.
+func GenerateStream(cfg StreamConfig) ([]JobSpec, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arrive := 0.0
+	mean := cfg.WorkCycles / cfg.Churn
+	jobs := make([]JobSpec, 0, cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		arrive += rng.ExpFloat64() * mean
+		tasks := cfg.Sizes[rng.Intn(len(cfg.Sizes))]
+		w, h := squarestDims(tasks)
+		spec := JobSpec{
+			Name:         fmt.Sprintf("j%03d", i),
+			ArriveCycles: math.Floor(arrive),
+			WorkCycles:   math.Floor(cfg.WorkCycles * (0.5 + rng.Float64())),
+			Tasks:        tasks,
+			Pattern:      fmt.Sprintf("stencil:%dx%d@%d", w, h, rng.Int63n(1<<31)),
+			VolumeBytes:  cfg.VolumeBytes,
+		}
+		if rng.Float64() < cfg.ConstraintFraction {
+			spec.Preferred = cfg.PreferredTier
+			spec.Required = cfg.RequiredTier
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, spec)
+	}
+	return jobs, nil
+}

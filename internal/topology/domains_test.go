@@ -1,0 +1,74 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+func domainTopo(t *testing.T, spec string) *Topology {
+	t.Helper()
+	topo, err := FromSpec(spec)
+	if err != nil {
+		t.Fatalf("parse %q: %v", spec, err)
+	}
+	return topo
+}
+
+func TestFabricDomainsTiers(t *testing.T) {
+	topo := domainTopo(t, "pod:2 rack:2 node:2 pack:1 core:4 pu:1")
+
+	cluster := topo.FabricDomains(Cluster)
+	if len(cluster) != 8 {
+		t.Fatalf("cluster domains = %d, want 8", len(cluster))
+	}
+	for i, d := range cluster {
+		if d.Index != i || !reflect.DeepEqual(d.Nodes, []int{i}) {
+			t.Fatalf("cluster domain %d = %v", i, d)
+		}
+	}
+
+	racks := topo.FabricDomains(Rack)
+	if len(racks) != 4 {
+		t.Fatalf("rack domains = %d, want 4", len(racks))
+	}
+	for i, d := range racks {
+		want := []int{2 * i, 2*i + 1}
+		if !reflect.DeepEqual(d.Nodes, want) {
+			t.Fatalf("rack domain %d nodes = %v, want %v", i, d.Nodes, want)
+		}
+	}
+
+	pods := topo.FabricDomains(Pod)
+	if len(pods) != 2 {
+		t.Fatalf("pod domains = %d, want 2", len(pods))
+	}
+	if !reflect.DeepEqual(pods[1].Nodes, []int{4, 5, 6, 7}) {
+		t.Fatalf("pod domain 1 nodes = %v", pods[1].Nodes)
+	}
+
+	machine := topo.FabricDomains(Machine)
+	if len(machine) != 1 || len(machine[0].Nodes) != 8 {
+		t.Fatalf("machine domains = %v", machine)
+	}
+
+	wantTiers := []Kind{Cluster, Rack, Pod, Machine}
+	if got := topo.DomainTiers(); !reflect.DeepEqual(got, wantTiers) {
+		t.Fatalf("DomainTiers = %v, want %v", got, wantTiers)
+	}
+}
+
+func TestFabricDomainsFlatPlatform(t *testing.T) {
+	topo := domainTopo(t, "cluster:4 pack:1 core:4 pu:1")
+	if d := topo.FabricDomains(Rack); d != nil {
+		t.Fatalf("rack domains on rackless platform = %v, want nil", d)
+	}
+	if d := topo.FabricDomains(Pod); d != nil {
+		t.Fatalf("pod domains on podless platform = %v, want nil", d)
+	}
+	if got := topo.DomainTiers(); !reflect.DeepEqual(got, []Kind{Cluster, Machine}) {
+		t.Fatalf("DomainTiers = %v", got)
+	}
+	if d := topo.FabricDomains(Cluster); len(d) != 4 {
+		t.Fatalf("cluster domains = %v", d)
+	}
+}
