@@ -345,6 +345,42 @@ func BenchmarkAblationSched(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationSched2 is ablation A16: the phase-2 scheduler policies
+// (conservative backfill, priority preemption, hysteresis-gated
+// defragmentation) layered on the topology-aware scheduler — each grid cell
+// (platform shape × stream seed) benchmarked and asserted separately,
+// mirroring the acceptance property of the test suite.
+func BenchmarkAblationSched2(b *testing.B) {
+	base := experiment.Sched2Config{}
+	for _, shape := range []struct {
+		name, spec string
+	}{
+		{"2rack", "rack:2 node:4 pack:2 core:4 pu:1"},
+		{"2pod", "pod:2 rack:2 node:2 pack:2 core:4 pu:1"},
+	} {
+		for _, seed := range []int64{8, 37} {
+			b.Run(fmt.Sprintf("%s/seed=%d", shape.name, seed), func(b *testing.B) {
+				cfg := base
+				cfg.Shapes = []string{shape.spec}
+				cfg.Seeds = []int64{seed}
+				var rows []experiment.AblationRow
+				var err error
+				for i := 0; i < b.N; i++ {
+					rows, err = experiment.AblationSched2(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				// The A16 acceptance property, enforced at bench time too:
+				// the full policy stack strictly beats backfill-only on
+				// aggregate job cycle time, and backfill-only strictly beats
+				// plain FIFO.
+				reportAndAssert(b, rows, "sched2")
+			})
+		}
+	}
+}
+
 // reportAndAssert emits every row's simulated seconds as a custom metric and
 // fails the benchmark when an asserted ordering of the ablation is violated
 // — the exact same relations the test suite and cmd/ablate -json check

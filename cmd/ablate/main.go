@@ -18,6 +18,7 @@
 //	ablate -exp torus       # torus halo exchange, routed fabric (A13)
 //	ablate -exp fault       # fault injection, mid-run resilience (A14)
 //	ablate -exp sched       # online multi-tenant scheduler (A15)
+//	ablate -exp sched2      # backfill, preemption, defragmentation (A16)
 //	ablate -exp scale       # placement-latency benchmark tier (S1)
 //	ablate -full            # paper-scale matrix and iterations
 //
@@ -34,7 +35,10 @@
 // overridable: -sched-jobs and -sched-churn reshape the job stream,
 // -sched-constraints sets the constrained fraction, and -sched-fit /
 // -sched-queue select the domain scoring rule (best, worst) and the
-// required-tier-full policy (wait, reject) of every arm.
+// required-tier-full policy (wait, reject) of every arm. The same -sched-*
+// knobs reshape the phase-2 ablation's stream too, and -sched2-priorities /
+// -sched2-defrag-threshold additionally set its priority-class count and
+// the fragmentation weight that arms defragmentation.
 // With -json the results are emitted as one machine-readable JSON document
 // on stdout — per-ablation rows with simulated seconds and cycle counts,
 // plus the asserted orderings and their verdicts — and the exit status is
@@ -59,7 +63,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, shift, torus, fault, sched, scale, all (a comma-separated list selects several; scale is excluded from all)")
+		exp          = flag.String("exp", "all", "ablation: policies, control, oversub, granularity, topology, distribute, ompsched, adaptive, cluster, rack, hetero, shift, torus, fault, sched, sched2, scale, all (a comma-separated list selects several; scale is excluded from all)")
 		full         = flag.Bool("full", false, "paper-scale configuration (16384^2, 100 iterations, 192 cores; overrides -rows/-cols/-iters/-cores)")
 		jsonF        = flag.Bool("json", false, "emit one machine-readable JSON report on stdout (rows, cycle counts, ordering verdicts); exit non-zero on any ordering violation")
 		seed         = flag.Int64("seed", 7, "simulated OS scheduler seed")
@@ -77,6 +81,8 @@ func main() {
 		schedConstr  = flag.Float64("sched-constraints", 0, "fraction of jobs carrying topology constraints for -exp sched (0 = experiment default)")
 		schedFit     = flag.String("sched-fit", "", "domain scoring rule for -exp sched: best or worst (empty = best)")
 		schedQueue   = flag.String("sched-queue", "", "required-tier-full policy for -exp sched: wait or reject (empty = wait)")
+		sched2Prio   = flag.Int("sched2-priorities", 0, "priority-class count of the -exp sched2 stream (0 = experiment default)")
+		sched2Defrag = flag.Float64("sched2-defrag-threshold", 0, "fragmentation weight in [0,1] arming the -exp sched2 full arm's defragmentation (0 = always armed)")
 	)
 	flag.Parse()
 
@@ -98,6 +104,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err = buildSchedOverrides(*schedJobs, *schedChurn, *schedConstr, *schedFit, *schedQueue); err != nil {
+		fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
+		os.Exit(1)
+	}
+	if err = buildSched2Overrides(*sched2Prio, *sched2Defrag); err != nil {
 		fmt.Fprintf(os.Stderr, "ablate: %v\n", err)
 		os.Exit(1)
 	}
@@ -157,7 +167,39 @@ func ablations() []ablation {
 			sc.Queue = schedOverrides.queue
 			return experiment.AblationSched(sc)
 		}},
+		{"sched2", "A16", "A16: phase-2 scheduler policies (backfill + preemption + defrag vs backfill-only vs fifo)", func(c experiment.Config) ([]experiment.AblationRow, error) {
+			sc := experiment.Sched2ConfigFrom(c)
+			sc.Jobs = schedOverrides.jobs
+			sc.Churn = schedOverrides.churn
+			sc.ConstraintFraction = schedOverrides.constraints
+			sc.Fit = schedOverrides.fit
+			sc.Queue = schedOverrides.queue
+			sc.PriorityClasses = sched2Overrides.priorities
+			sc.DefragThreshold = sched2Overrides.defragThreshold
+			return experiment.AblationSched2(sc)
+		}},
 	}
+}
+
+// sched2Overrides carries the parsed -sched2-* flag values to the phase-2
+// scheduler ablation; zero values select the experiment defaults.
+var sched2Overrides struct {
+	priorities      int
+	defragThreshold float64
+}
+
+// buildSched2Overrides validates the -sched2-* flag values; the experiment
+// re-validates the assembled configuration.
+func buildSched2Overrides(priorities int, defragThreshold float64) error {
+	if priorities < 0 || priorities > 100 {
+		return fmt.Errorf("-sched2-priorities: class count %d outside [0,100]", priorities)
+	}
+	if defragThreshold < 0 || defragThreshold > 1 {
+		return fmt.Errorf("-sched2-defrag-threshold: weight %v outside [0,1]", defragThreshold)
+	}
+	sched2Overrides.priorities = priorities
+	sched2Overrides.defragThreshold = defragThreshold
+	return nil
 }
 
 // schedOverrides carries the parsed -sched-* flag values to the scheduler
@@ -339,7 +381,7 @@ func parseIntList(s string) ([]int, error) {
 
 // selectAblations resolves a -exp value ("all", one name, or a
 // comma-separated list) against the suite, preserving report order. "all"
-// selects the fifteen ablations; the benchmark tiers (extraAblations) only
+// selects the sixteen ablations; the benchmark tiers (extraAblations) only
 // run when named explicitly.
 func selectAblations(exp string) ([]ablation, error) {
 	all := ablations()

@@ -48,8 +48,8 @@ func TestSelectAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 15 || all[0].id != "A1" || all[14].id != "A15" {
-		t.Fatalf("all selects %d ablations (%+v), want A1..A15", len(all), all)
+	if len(all) != 16 || all[0].id != "A1" || all[15].id != "A16" {
+		t.Fatalf("all selects %d ablations (%+v), want A1..A16", len(all), all)
 	}
 	list, err := selectAblations("shift,adaptive")
 	if err != nil {
@@ -275,6 +275,45 @@ func TestBuildSchedOverrides(t *testing.T) {
 			if schedOverrides.fit != tc.wantFit || schedOverrides.queue != tc.wantQueue {
 				t.Errorf("fit/queue = %v/%v, want %v/%v",
 					schedOverrides.fit, schedOverrides.queue, tc.wantFit, tc.wantQueue)
+			}
+		})
+	}
+}
+
+// TestBuildSched2Overrides drives the -sched2-* flag validation the same
+// way: out-of-range values name the flag, valid values land verbatim.
+func TestBuildSched2Overrides(t *testing.T) {
+	cases := []struct {
+		name       string
+		priorities int
+		threshold  float64
+		wantErr    string
+	}{
+		{name: "all defaults"},
+		{name: "explicit knobs", priorities: 5, threshold: 0.4},
+		{name: "negative priorities", priorities: -1, wantErr: "-sched2-priorities"},
+		{name: "priorities above hundred", priorities: 101, wantErr: "-sched2-priorities"},
+		{name: "threshold above one", threshold: 1.5, wantErr: "-sched2-defrag-threshold"},
+		{name: "negative threshold", threshold: -0.1, wantErr: "-sched2-defrag-threshold"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				sched2Overrides.priorities, sched2Overrides.defragThreshold = 0, 0
+			}()
+			err := buildSched2Overrides(tc.priorities, tc.threshold)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if sched2Overrides.priorities != tc.priorities || sched2Overrides.defragThreshold != tc.threshold {
+				t.Errorf("overrides %+v, want priorities=%d threshold=%v",
+					sched2Overrides, tc.priorities, tc.threshold)
 			}
 		})
 	}

@@ -3,6 +3,7 @@
 //
 //	benchdiff -base BENCH_6.json -cur BENCH_new.json
 //	benchdiff -base BENCH_6.json -cur BENCH_new.json -factor 3
+//	benchdiff -manifest bench/manifest.json
 //
 // Only rows carrying wall_seconds are compared (the benchmark tiers; the
 // simulated rows are deterministic and asserted by the orderings instead).
@@ -13,6 +14,14 @@
 // The comparison table is printed either way; the exit status is non-zero on
 // any regression or missing row. New rows in the current document pass
 // freely: they have no baseline yet.
+//
+// -manifest checks the bench-gate manifest instead of diffing: every tier
+// must be well-formed (artifact named, non-negative factor, and — for
+// factor > 0 — a committed baseline next to the manifest that carries wall
+// rows), and every committed BENCH_*.json beside the manifest must be
+// referenced by some tier, so a baseline cannot silently stop being gated.
+// The CI bench-smoke job loops over the same manifest to regenerate and
+// gate each tier.
 package main
 
 import (
@@ -21,16 +30,29 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
 func main() {
 	var (
-		base   = flag.String("base", "", "baseline bench JSON (required)")
-		cur    = flag.String("cur", "", "current bench JSON (required)")
-		factor = flag.Float64("factor", 2, "allowed wall-time growth factor over the baseline")
+		base     = flag.String("base", "", "baseline bench JSON (required without -manifest)")
+		cur      = flag.String("cur", "", "current bench JSON (required without -manifest)")
+		factor   = flag.Float64("factor", 2, "allowed wall-time growth factor over the baseline")
+		manifest = flag.String("manifest", "", "bench-gate manifest to check for completeness instead of diffing")
 	)
 	flag.Parse()
+	if *manifest != "" {
+		if *base != "" || *cur != "" {
+			fmt.Fprintln(os.Stderr, "benchdiff: -manifest excludes -base/-cur")
+			os.Exit(2)
+		}
+		if err := checkManifest(os.Stdout, *manifest); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *base == "" || *cur == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -base and -cur are both required")
 		os.Exit(2)
@@ -39,6 +61,86 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// benchManifest mirrors the bench/manifest.json schema the CI bench-smoke
+// loop consumes.
+type benchManifest struct {
+	Schema string `json:"schema"`
+	Tiers  []struct {
+		Exp      string   `json:"exp"`
+		Artifact string   `json:"artifact"`
+		Flags    []string `json:"flags"`
+		Factor   float64  `json:"factor"`
+	} `json:"tiers"`
+}
+
+const manifestSchema = "repro-bench-manifest/1"
+
+// checkManifest validates the bench-gate manifest: well-formed tiers,
+// wall-carrying baselines for every gated tier, and no committed baseline
+// left unreferenced.
+func checkManifest(w io.Writer, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var m benchManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if m.Schema != manifestSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, m.Schema, manifestSchema)
+	}
+	if len(m.Tiers) == 0 {
+		return fmt.Errorf("%s: no tiers", path)
+	}
+	dir := filepath.Dir(path)
+	referenced := map[string]bool{}
+	var bad []string
+	for i, tier := range m.Tiers {
+		if tier.Exp == "" || tier.Artifact == "" {
+			bad = append(bad, fmt.Sprintf("tier %d: exp and artifact are both required", i))
+			continue
+		}
+		if tier.Factor < 0 {
+			bad = append(bad, fmt.Sprintf("tier %d (%s): negative factor %v", i, tier.Exp, tier.Factor))
+		}
+		if referenced[tier.Artifact] {
+			bad = append(bad, fmt.Sprintf("tier %d (%s): artifact %s already claimed by an earlier tier", i, tier.Exp, tier.Artifact))
+		}
+		referenced[tier.Artifact] = true
+		verdict := "ordering-gated"
+		if tier.Factor > 0 {
+			verdict = fmt.Sprintf("wall-gated x%g", tier.Factor)
+			baseline := filepath.Join(dir, tier.Artifact)
+			walls, err := load(baseline)
+			switch {
+			case err != nil:
+				bad = append(bad, fmt.Sprintf("tier %d (%s): baseline %s: %v", i, tier.Exp, baseline, err))
+			case len(walls) == 0:
+				bad = append(bad, fmt.Sprintf("tier %d (%s): baseline %s carries no wall_seconds rows to gate on", i, tier.Exp, baseline))
+			}
+		}
+		fmt.Fprintf(w, "  %-40s -> %-14s %s\n", tier.Exp, tier.Artifact, verdict)
+	}
+	committed, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	for _, f := range committed {
+		if !referenced[filepath.Base(f)] {
+			bad = append(bad, fmt.Sprintf("committed baseline %s is not referenced by any manifest tier", f))
+		}
+	}
+	if len(bad) > 0 {
+		msg := bad[0]
+		for _, m := range bad[1:] {
+			msg += "; " + m
+		}
+		return fmt.Errorf("%d manifest check(s) failed: %s", len(bad), msg)
+	}
+	return nil
 }
 
 // benchReport mirrors the subset of the cmd/ablate -json schema benchdiff

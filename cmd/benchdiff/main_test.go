@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -72,6 +73,98 @@ func TestDiffFailsOnMissingRow(t *testing.T) {
 	err := diff(&buf, base, cur, 2)
 	if err == nil || !strings.Contains(err.Error(), "missing") {
 		t.Fatalf("dropped row not reported: %v\n%s", err, buf.String())
+	}
+}
+
+const manifestDoc = `{
+  "schema": "repro-bench-manifest/1",
+  "tiers": [
+    {"exp": "scale", "artifact": "BENCH_A.json", "flags": ["-scale-tasks", "10000"], "factor": 2},
+    {"exp": "adaptive,shift", "artifact": "BENCH_B.json", "flags": [], "factor": 0}
+  ]
+}`
+
+const simOnlyDoc = `{
+  "schema": "repro-bench/1",
+  "ablations": [{"exp": "shift", "rows": [{"name": "phase/static", "seconds": 3.5}]}]
+}`
+
+// TestManifestPasses: a complete manifest — every gated tier has a
+// wall-carrying baseline, every committed BENCH file is referenced.
+func TestManifestPasses(t *testing.T) {
+	dir := t.TempDir()
+	writeReport(t, dir, "BENCH_A.json", baseDoc)
+	writeReport(t, dir, "BENCH_B.json", simOnlyDoc)
+	manifest := writeReport(t, dir, "manifest.json", manifestDoc)
+	var buf bytes.Buffer
+	if err := checkManifest(&buf, manifest); err != nil {
+		t.Fatalf("complete manifest failed: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{"wall-gated x2", "ordering-gated"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("manifest table misses %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestManifestFailsOnUnreferencedBaseline: a committed BENCH file no tier
+// claims means a baseline silently stopped being gated.
+func TestManifestFailsOnUnreferencedBaseline(t *testing.T) {
+	dir := t.TempDir()
+	writeReport(t, dir, "BENCH_A.json", baseDoc)
+	writeReport(t, dir, "BENCH_B.json", simOnlyDoc)
+	writeReport(t, dir, "BENCH_ORPHAN.json", baseDoc)
+	manifest := writeReport(t, dir, "manifest.json", manifestDoc)
+	err := checkManifest(io.Discard, manifest)
+	if err == nil || !strings.Contains(err.Error(), "BENCH_ORPHAN.json") {
+		t.Fatalf("orphan baseline not reported: %v", err)
+	}
+}
+
+// TestManifestFailsOnBadTiers: a gated tier without a usable baseline, a
+// wall-less baseline, duplicate artifacts and schema drift all fail.
+func TestManifestFailsOnBadTiers(t *testing.T) {
+	cases := []struct {
+		name     string
+		manifest string
+		files    map[string]string
+		wantErr  string
+	}{
+		{"missing baseline", manifestDoc, map[string]string{"BENCH_B.json": simOnlyDoc}, "BENCH_A.json"},
+		{"baseline without walls", manifestDoc,
+			map[string]string{"BENCH_A.json": simOnlyDoc, "BENCH_B.json": simOnlyDoc}, "no wall_seconds"},
+		{"wrong schema", strings.Replace(manifestDoc, "repro-bench-manifest/1", "repro-bench-manifest/999", 1),
+			nil, "schema"},
+		{"no tiers", `{"schema": "repro-bench-manifest/1", "tiers": []}`, nil, "no tiers"},
+		{"unnamed artifact", `{"schema": "repro-bench-manifest/1", "tiers": [{"exp": "scale", "factor": 0}]}`,
+			nil, "required"},
+		{"negative factor", `{"schema": "repro-bench-manifest/1", "tiers": [{"exp": "a", "artifact": "x.json", "factor": -1}]}`,
+			nil, "negative factor"},
+		{"duplicate artifact", `{"schema": "repro-bench-manifest/1", "tiers": [
+			{"exp": "a", "artifact": "x.json", "factor": 0},
+			{"exp": "b", "artifact": "x.json", "factor": 0}]}`, nil, "already claimed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			for name, body := range tc.files {
+				writeReport(t, dir, name, body)
+			}
+			manifest := writeReport(t, dir, "manifest.json", tc.manifest)
+			err := checkManifest(io.Discard, manifest)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRepoManifestComplete pins the committed manifest itself: it must pass
+// the completeness check against the committed bench/ baselines, so adding
+// a BENCH file without wiring it into the CI loop fails here first.
+func TestRepoManifestComplete(t *testing.T) {
+	if err := checkManifest(io.Discard, filepath.Join("..", "..", "bench", "manifest.json")); err != nil {
+		t.Fatalf("committed bench/manifest.json incomplete: %v", err)
 	}
 }
 

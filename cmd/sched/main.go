@@ -8,16 +8,20 @@
 //	sched -jobs 60 -seed 42 -churn 8                # heavier synthetic load
 //	sched -workload jobs.txt                        # replay a workload file
 //	sched -policy topo-blind -fit worst -queue reject
+//	sched -backfill -preempt -defrag -priorities 3  # the phase-2 policy stack
 //
 // A workload file holds one job per line in the grammar of
 // sched.ParseJobSpec ("#" starts a comment):
 //
-//	job etl arrive=0 work=2e6 tasks=8 pattern=stencil:4x2 vol=65536 required=rack preferred=node
+//	job etl arrive=0 work=2e6 tasks=8 pattern=stencil:4x2 vol=65536 prio=2 required=rack preferred=node
 //
 // Without -workload, a stream is generated from the seeded workload model
-// (-jobs, -seed, -churn, -constraints, -preferred, -required); the same
-// generator drives the A15 ablation, so a CLI run reproduces any ablation
-// cell exactly.
+// (-jobs, -seed, -churn, -constraints, -preferred, -required, plus
+// -priorities and -long-fraction for the phase-2 mix); the same generator
+// drives the A15 and A16 ablations, so a CLI run reproduces any ablation
+// cell exactly. The phase-2 policies are opt-in: -backfill enables
+// conservative backfill, -preempt priority preemption, and -defrag
+// migration-based defragmentation gated at -defrag-threshold.
 package main
 
 import (
@@ -43,15 +47,21 @@ func main() {
 		policy      = flag.String("policy", "topo-aware", "scheduler policy: topo-aware, topo-blind, first-fit")
 		fit         = flag.String("fit", "best", "domain scoring rule: best or worst")
 		queue       = flag.String("queue", "wait", "required-tier-full policy: wait or reject")
+		backfill    = flag.Bool("backfill", false, "conservative backfill: dispatch small jobs past a blocked head inside its earliest-start window")
+		preempt     = flag.Bool("preempt", false, "priority preemption: checkpoint-and-requeue lower-priority jobs for a blocked required-constrained head")
+		defrag      = flag.Bool("defrag", false, "defragmentation: migrate one running job to compact a domain when the priced gain beats the bill")
+		defragThr   = flag.Float64("defrag-threshold", 0, "fragmentation weight in [0,1] arming -defrag (0 = always armed)")
+		priorities  = flag.Int("priorities", 0, "priority-class count of generated constrained jobs (0 or 1 = all priority 0; ignored with -workload)")
+		longFrac    = flag.Float64("long-fraction", 0, "fraction of generated jobs with 8x work (heavy tail; ignored with -workload)")
 	)
 	flag.Parse()
 
-	opts, err := buildOptions(*policy, *fit, *queue)
+	opts, err := buildOptions(*policy, *fit, *queue, *backfill, *preempt, *defrag, *defragThr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sched: %v\n", err)
 		os.Exit(1)
 	}
-	stream, err := buildStream(*jobs, *seed, *churn, *constraints, *preferred, *required)
+	stream, err := buildStream(*jobs, *seed, *churn, *constraints, *preferred, *required, *priorities, *longFrac)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sched: %v\n", err)
 		os.Exit(1)
@@ -63,7 +73,7 @@ func main() {
 }
 
 // buildOptions validates the policy flags into scheduler options.
-func buildOptions(policy, fit, queue string) (sched.Options, error) {
+func buildOptions(policy, fit, queue string, backfill, preempt, defrag bool, defragThr float64) (sched.Options, error) {
 	var opts sched.Options
 	var err error
 	if opts.Policy, err = sched.ParsePolicy(policy); err != nil {
@@ -75,12 +85,19 @@ func buildOptions(policy, fit, queue string) (sched.Options, error) {
 	if opts.Queue, err = sched.ParseQueuePolicy(queue); err != nil {
 		return sched.Options{}, fmt.Errorf("-queue: %v", err)
 	}
+	if defragThr < 0 || defragThr > 1 {
+		return sched.Options{}, fmt.Errorf("-defrag-threshold: weight %v outside [0,1]", defragThr)
+	}
+	opts.Backfill = backfill
+	opts.Preempt = preempt
+	opts.Defrag = defrag
+	opts.DefragThreshold = defragThr
 	return opts, nil
 }
 
 // buildStream validates the generator flags into a stream configuration.
 // The configuration is only consulted when no -workload file is given.
-func buildStream(jobs int, seed int64, churn, constraints float64, preferred, required string) (sched.StreamConfig, error) {
+func buildStream(jobs int, seed int64, churn, constraints float64, preferred, required string, priorities int, longFrac float64) (sched.StreamConfig, error) {
 	cfg := sched.StreamConfig{
 		Jobs:               jobs,
 		Seed:               seed,
@@ -88,6 +105,8 @@ func buildStream(jobs int, seed int64, churn, constraints float64, preferred, re
 		ConstraintFraction: constraints,
 		PreferredTier:      preferred,
 		RequiredTier:       required,
+		PriorityClasses:    priorities,
+		LongFraction:       longFrac,
 	}
 	if err := cfg.Validate(); err != nil {
 		return sched.StreamConfig{}, err

@@ -12,24 +12,32 @@ import (
 
 func TestBuildOptionsValidation(t *testing.T) {
 	cases := []struct {
-		name               string
-		policy, fit, queue string
-		want               sched.Options
-		wantErr            string
+		name                      string
+		policy, fit, queue        string
+		backfill, preempt, defrag bool
+		defragThr                 float64
+		want                      sched.Options
+		wantErr                   string
 	}{
-		{"defaults", "topo-aware", "best", "wait",
-			sched.Options{Policy: sched.TopoAware, Fit: sched.BestFit, Queue: sched.QueueWait}, ""},
-		{"blind worst reject", "topo-blind", "worst", "reject",
-			sched.Options{Policy: sched.TopoBlind, Fit: sched.WorstFit, Queue: sched.QueueReject}, ""},
-		{"first fit", "first-fit", "best", "wait",
-			sched.Options{Policy: sched.FirstFit, Fit: sched.BestFit, Queue: sched.QueueWait}, ""},
-		{"unknown policy", "round-robin", "best", "wait", sched.Options{}, "-policy"},
-		{"unknown fit", "topo-aware", "snuggest", "wait", sched.Options{}, "-fit"},
-		{"unknown queue", "topo-aware", "best", "drop", sched.Options{}, "-queue"},
+		{name: "defaults", policy: "topo-aware", fit: "best", queue: "wait",
+			want: sched.Options{Policy: sched.TopoAware, Fit: sched.BestFit, Queue: sched.QueueWait}},
+		{name: "blind worst reject", policy: "topo-blind", fit: "worst", queue: "reject",
+			want: sched.Options{Policy: sched.TopoBlind, Fit: sched.WorstFit, Queue: sched.QueueReject}},
+		{name: "first fit", policy: "first-fit", fit: "best", queue: "wait",
+			want: sched.Options{Policy: sched.FirstFit, Fit: sched.BestFit, Queue: sched.QueueWait}},
+		{name: "phase-2 stack", policy: "topo-aware", fit: "best", queue: "wait",
+			backfill: true, preempt: true, defrag: true, defragThr: 0.25,
+			want: sched.Options{Policy: sched.TopoAware, Fit: sched.BestFit, Queue: sched.QueueWait,
+				Backfill: true, Preempt: true, Defrag: true, DefragThreshold: 0.25}},
+		{name: "unknown policy", policy: "round-robin", fit: "best", queue: "wait", wantErr: "-policy"},
+		{name: "unknown fit", policy: "topo-aware", fit: "snuggest", queue: "wait", wantErr: "-fit"},
+		{name: "unknown queue", policy: "topo-aware", fit: "best", queue: "drop", wantErr: "-queue"},
+		{name: "threshold above one", policy: "topo-aware", fit: "best", queue: "wait",
+			defragThr: 1.5, wantErr: "-defrag-threshold"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got, err := buildOptions(tc.policy, tc.fit, tc.queue)
+			got, err := buildOptions(tc.policy, tc.fit, tc.queue, tc.backfill, tc.preempt, tc.defrag, tc.defragThr)
 			if tc.wantErr != "" {
 				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 					t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
@@ -39,7 +47,9 @@ func TestBuildOptionsValidation(t *testing.T) {
 			if err != nil {
 				t.Fatalf("unexpected error: %v", err)
 			}
-			if got.Policy != tc.want.Policy || got.Fit != tc.want.Fit || got.Queue != tc.want.Queue {
+			if got.Policy != tc.want.Policy || got.Fit != tc.want.Fit || got.Queue != tc.want.Queue ||
+				got.Backfill != tc.want.Backfill || got.Preempt != tc.want.Preempt ||
+				got.Defrag != tc.want.Defrag || got.DefragThreshold != tc.want.DefragThreshold {
 				t.Errorf("options %+v, want %+v", got, tc.want)
 			}
 		})
@@ -53,17 +63,28 @@ func TestBuildStreamValidation(t *testing.T) {
 		seed                int64
 		churn, constraints  float64
 		preferred, required string
+		priorities          int
+		longFrac            float64
 		wantErr             string
 	}{
-		{"defaults", 40, 7, 4, 0.3, "node", "rack", ""},
-		{"unconstrained", 10, 1, 2, 0, "", "", ""},
-		{"negative churn", 40, 7, -1, 0.3, "node", "rack", "churn"},
-		{"too many jobs", 1 << 21, 7, 4, 0.3, "node", "rack", "jobs"},
-		{"fraction above one", 40, 7, 4, 1.5, "node", "rack", "fraction"},
+		{name: "defaults", jobs: 40, seed: 7, churn: 4, constraints: 0.3, preferred: "node", required: "rack"},
+		{name: "unconstrained", jobs: 10, seed: 1, churn: 2},
+		{name: "phase-2 mix", jobs: 40, seed: 7, churn: 12, constraints: 0.35,
+			preferred: "node", required: "rack", priorities: 3, longFrac: 0.2},
+		{name: "negative churn", jobs: 40, seed: 7, churn: -1, constraints: 0.3,
+			preferred: "node", required: "rack", wantErr: "churn"},
+		{name: "too many jobs", jobs: 1 << 21, seed: 7, churn: 4, constraints: 0.3,
+			preferred: "node", required: "rack", wantErr: "jobs"},
+		{name: "fraction above one", jobs: 40, seed: 7, churn: 4, constraints: 1.5,
+			preferred: "node", required: "rack", wantErr: "fraction"},
+		{name: "too many priority classes", jobs: 40, seed: 7, churn: 4,
+			priorities: 101, wantErr: "priority classes"},
+		{name: "long fraction above one", jobs: 40, seed: 7, churn: 4,
+			longFrac: 1.5, wantErr: "long fraction"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := buildStream(tc.jobs, tc.seed, tc.churn, tc.constraints, tc.preferred, tc.required)
+			_, err := buildStream(tc.jobs, tc.seed, tc.churn, tc.constraints, tc.preferred, tc.required, tc.priorities, tc.longFrac)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

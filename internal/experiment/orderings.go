@@ -81,6 +81,11 @@ func AblationOrderings(exp string) []Ordering {
 			{Before: "sched/topo-aware", After: "sched/topo-blind", Strict: true},
 			{Before: "sched/topo-blind", After: "sched/first-fit", Strict: true},
 		}
+	case "sched2": // A16
+		return []Ordering{
+			{Before: "sched2/full", After: "sched2/backfill", Strict: true},
+			{Before: "sched2/backfill", After: "sched2/fifo", Strict: true},
+		}
 	}
 	return nil
 }

@@ -1,0 +1,301 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/numasim"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// The phase-2 scheduler ablation (A16) keeps A15's topology-aware placement
+// fixed and varies the queueing policies layered on top of it: "fifo" is the
+// plain A15 topo-aware arm (a blocked required-constrained head stalls the
+// whole queue), "backfill" adds conservative backfill (small jobs jump the
+// head only when their whole modeled service fits inside the head's
+// earliest-feasible-start window, so the head is never delayed), and "full"
+// additionally enables priority preemption (a required-constrained arrival
+// checkpoints-and-requeues strictly-lower-priority jobs, charged at
+// checkpoint/respawn cost) and hysteresis-gated defragmentation (migrate one
+// running job to compact a domain, committing only when the head's wait
+// saving beats the migration bill). The metric is again the aggregate of job
+// cycle times, so every policy must pay for itself: an eviction or a
+// migration that costs more than the wait it saves worsens the arm.
+
+// Sched2Modes lists the arms of the phase-2 scheduler ablation in report
+// order.
+func Sched2Modes() []string {
+	return []string{"full", "backfill", "fifo"}
+}
+
+// Sched2Config parameterizes the A16 ablation grid. The stream is harsher
+// than A15's: higher churn (deeper queues give backfill windows to fill) and
+// a priority mix in which the required-constrained jobs outrank the
+// unconstrained background (so preemption has lawful victims).
+type Sched2Config struct {
+	// Shapes and Seeds span the grid (defaults match A15: a two-rack and
+	// a two-pod machine × seeds 7 and 42).
+	Shapes []string
+	Seeds  []int64
+	// Stream knobs (see sched.StreamConfig); zero values pick the
+	// defaults noted at withDefaults.
+	Jobs               int
+	Sizes              []int
+	Churn              float64
+	ConstraintFraction float64
+	PriorityClasses    int
+	PreferredTier      string
+	RequiredTier       string
+	WorkCycles         float64
+	VolumeBytes        float64
+	LongFraction       float64
+	LongFactor         float64
+	// DefragThreshold arms the full arm's defragmentation (fragmentation
+	// weight in [0,1]; negative means 0 = always armed when the head is
+	// blocked).
+	DefragThreshold float64
+	// Fit and Queue are shared by every arm (defaults: best-fit, wait).
+	Fit   sched.Fit
+	Queue sched.QueuePolicy
+}
+
+func (c Sched2Config) withDefaults() Sched2Config {
+	if c.Shapes == nil {
+		c.Shapes = []string{
+			"rack:2 node:4 pack:2 core:4 pu:1",
+			"pod:2 rack:2 node:2 pack:2 core:4 pu:1",
+		}
+	}
+	if c.Seeds == nil {
+		c.Seeds = []int64{8, 37}
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 48
+	}
+	if c.Sizes == nil {
+		// A16's mix skews smaller than A15's: the short tail is what
+		// backfill packs into a blocked head's window, and cheap
+		// low-priority victims are what makes preemption affordable.
+		c.Sizes = []int{2, 3, 4, 6, 8, 12, 16}
+	}
+	if c.Churn == 0 {
+		c.Churn = 12
+	}
+	if c.ConstraintFraction == 0 {
+		c.ConstraintFraction = 0.35
+	}
+	if c.LongFraction == 0 {
+		// A heavy tail of 8x-long residents is what opens real
+		// earliest-start windows behind a blocked head: without it, free
+		// capacity churns every few hundred thousand cycles and the
+		// conservative backfill window almost never fits a whole job.
+		c.LongFraction = 0.2
+	}
+	if c.LongFactor == 0 {
+		c.LongFactor = 8
+	}
+	if c.VolumeBytes == 0 {
+		// Smaller halos than A15's 64KiB keep working sets — and with
+		// them the checkpoint/migration bills — small enough that
+		// preemption and defragmentation can actually pay for
+		// themselves against the 50k-cycle-per-task migration floor.
+		c.VolumeBytes = 4 << 10
+	}
+	if c.PriorityClasses == 0 {
+		c.PriorityClasses = 3
+	}
+	if c.PreferredTier == "" {
+		c.PreferredTier = "node"
+	}
+	if c.RequiredTier == "" {
+		c.RequiredTier = "rack"
+	}
+	if c.DefragThreshold < 0 {
+		c.DefragThreshold = 0
+	}
+	return c
+}
+
+// streamConfig builds the generator configuration of one grid cell.
+func (c Sched2Config) streamConfig(seed int64) sched.StreamConfig {
+	return sched.StreamConfig{
+		Jobs:               c.Jobs,
+		Seed:               seed,
+		Sizes:              c.Sizes,
+		WorkCycles:         c.WorkCycles,
+		VolumeBytes:        c.VolumeBytes,
+		Churn:              c.Churn,
+		ConstraintFraction: c.ConstraintFraction,
+		LongFraction:       c.LongFraction,
+		LongFactor:         c.LongFactor,
+		PreferredTier:      c.PreferredTier,
+		RequiredTier:       c.RequiredTier,
+		PriorityClasses:    c.PriorityClasses,
+	}
+}
+
+// Validate rejects configurations the phase-2 pipeline cannot run.
+func (c Sched2Config) Validate() error {
+	d := c.withDefaults()
+	if len(d.Shapes) == 0 {
+		return fmt.Errorf("experiment: sched2 needs at least one platform shape")
+	}
+	for _, spec := range d.Shapes {
+		if _, err := topology.FromSpec(spec); err != nil {
+			return fmt.Errorf("experiment: sched2 shape %q: %w", spec, err)
+		}
+	}
+	if len(d.Seeds) == 0 {
+		return fmt.Errorf("experiment: sched2 needs at least one stream seed")
+	}
+	for _, seed := range d.Seeds {
+		if err := d.streamConfig(seed).Validate(); err != nil {
+			return err
+		}
+	}
+	if d.DefragThreshold > 1 {
+		return fmt.Errorf("experiment: sched2 defrag threshold %v out of range [0,1]", d.DefragThreshold)
+	}
+	probe := sched.JobSpec{
+		Name: "probe", Tasks: 1,
+		Preferred: d.PreferredTier, Required: d.RequiredTier,
+	}
+	return probe.Validate()
+}
+
+// sched2Options maps an A16 mode name to scheduler options. Every arm is
+// topology-aware; the arms differ only in the phase-2 policies.
+func sched2Options(mode string, cfg Sched2Config) (sched.Options, error) {
+	opts := sched.Options{Policy: sched.TopoAware, Fit: cfg.Fit, Queue: cfg.Queue}
+	switch mode {
+	case "fifo":
+	case "backfill":
+		opts.Backfill = true
+	case "full":
+		opts.Backfill = true
+		opts.Preempt = true
+		opts.Defrag = true
+		opts.DefragThreshold = cfg.DefragThreshold
+	default:
+		return sched.Options{}, fmt.Errorf("experiment: unknown sched2 mode %q", mode)
+	}
+	return opts, nil
+}
+
+// Sched2Result reports one policy arm across the whole grid.
+type Sched2Result struct {
+	Mode string
+	// Seconds is the grid total of aggregate job cycle time — the A16
+	// ordering metric.
+	Seconds float64
+	// WallSeconds is the real time the arm took, for the bench gate.
+	WallSeconds float64
+	// Admitted and Rejected total the grid's stream partition.
+	Admitted, Rejected int
+	// Backfills, Preemptions and DefragMigrations total the phase-2
+	// policy activity over the grid.
+	Backfills, Preemptions, DefragMigrations int
+	// FragmentationAvg and BusyUtilization are grid means.
+	FragmentationAvg, BusyUtilization float64
+	// Cells holds the per-cell reports, shape-major in grid order.
+	Cells []SchedCell
+}
+
+// String renders a one-line summary.
+func (r Sched2Result) String() string {
+	return fmt.Sprintf("%-9s agg=%9.3fs admitted=%d backfills=%d preempts=%d defrags=%d frag=%.3f",
+		r.Mode, r.Seconds, r.Admitted, r.Backfills, r.Preemptions, r.DefragMigrations, r.FragmentationAvg)
+}
+
+// RunSched2Cell replays one seeded stream on one platform shape under one
+// phase-2 arm and returns the scheduler's report.
+func RunSched2Cell(mode, shape string, seed int64, cfg Sched2Config) (*sched.Report, error) {
+	cfg = cfg.withDefaults()
+	opts, err := sched2Options(mode, cfg)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := sched.GenerateStream(cfg.streamConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	plat, err := numasim.NewPlatform(shape, numasim.Config{})
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.New(plat.Machine(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(jobs)
+}
+
+// RunSched2 executes one phase-2 arm over the full shape × seed grid.
+func RunSched2(mode string, cfg Sched2Config) (Sched2Result, error) {
+	start := time.Now()
+	if err := cfg.Validate(); err != nil {
+		return Sched2Result{}, err
+	}
+	cfg = cfg.withDefaults()
+	res := Sched2Result{Mode: mode}
+	var aggCycles, fragSum, utilSum float64
+	for _, shape := range cfg.Shapes {
+		for _, seed := range cfg.Seeds {
+			rep, err := RunSched2Cell(mode, shape, seed, cfg)
+			if err != nil {
+				return Sched2Result{}, fmt.Errorf("sched2 %s, shape %q seed %d: %w", mode, shape, seed, err)
+			}
+			aggCycles += rep.AggregateCycles
+			fragSum += rep.FragmentationAvg
+			utilSum += rep.BusyUtilization
+			res.Admitted += rep.Admitted
+			res.Rejected += rep.Rejected
+			res.Backfills += rep.Backfills
+			res.Preemptions += rep.Preemptions
+			res.DefragMigrations += rep.DefragMigrations
+			res.Cells = append(res.Cells, SchedCell{Shape: shape, Seed: seed, Report: rep})
+		}
+	}
+	cells := float64(len(res.Cells))
+	res.Seconds = aggCycles / topology.DefaultAttrs().ClockHz
+	res.FragmentationAvg = fragSum / cells
+	res.BusyUtilization = utilSum / cells
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// AblationSched2 (A16) compares the phase-2 policy stack over the grid:
+// full (backfill + preemption + defrag) < backfill-only < fifo on aggregate
+// job cycle time. The per-cell ordering is asserted by the experiment tests;
+// the summed rows carry the same assertion into the bench pipeline.
+func AblationSched2(cfg Sched2Config) ([]AblationRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, mode := range Sched2Modes() {
+		res, err := RunSched2(mode, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation sched2, %s: %w", mode, err)
+		}
+		rows = append(rows, AblationRow{
+			Name:    "sched2/" + mode,
+			Seconds: res.Seconds,
+			Detail: fmt.Sprintf("admitted=%d rejected=%d backfills=%d preempts=%d defrags=%d frag=%.3f util=%.3f cells=%d",
+				res.Admitted, res.Rejected, res.Backfills, res.Preemptions, res.DefragMigrations,
+				res.FragmentationAvg, res.BusyUtilization, len(res.Cells)),
+			WallSeconds: res.WallSeconds,
+		})
+	}
+	return rows, nil
+}
+
+// Sched2ConfigFrom derives the phase-2 configuration from the common
+// ablation Config, mirroring SchedConfigFrom: fixed grid shapes, stream
+// seeds derived from cfg.Seed (the default ablation seed 7 reproduces the
+// default A16 grid seeds 8 and 37).
+func Sched2ConfigFrom(cfg Config) Sched2Config {
+	cfg = cfg.withDefaults()
+	return Sched2Config{Seeds: []int64{cfg.Seed + 1, cfg.Seed + 30}}
+}

@@ -969,6 +969,20 @@ func (m *Machine) MigrationCostCycles(fromPU, toPU int, workingSetBytes float64)
 	return m.cfg.MigrationPenaltyCycles + m.memCostCycles(toPU, fromNode, workingSetBytes)
 }
 
+// CheckpointCostCycles prices writing a task's working set out to its own
+// node's memory — the checkpoint image a preempting scheduler must persist
+// before it reclaims the slot mid-service. The respawn on the new cores is
+// priced separately by MigrationCostCycles, which pulls the image from the
+// old node; together they are the checkpoint/respawn bill a preempted job
+// pays when it restarts. A negative pu (unbound stream) has no dirty state
+// to flush and checkpoints for free.
+func (m *Machine) CheckpointCostCycles(pu int, workingSetBytes float64) float64 {
+	if pu < 0 {
+		return 0
+	}
+	return m.memCostCycles(pu, m.nodeOf[pu], workingSetBytes)
+}
+
 // MissFactor returns the fraction of a working set that must be re-streamed
 // from memory on every sweep, given the PU's share of the last-level cache:
 // 1 when the set does not fit at all, decreasing linearly to

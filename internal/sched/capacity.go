@@ -103,6 +103,25 @@ func (c *Capacity) MaxNodeFree() int {
 	return max
 }
 
+// NodeOf maps a core level index to its cluster node index.
+func (c *Capacity) NodeOf(core int) int { return c.nodeOf[core] }
+
+// DomainOfNode returns the index of node n's domain at the given tier.
+func (c *Capacity) DomainOfNode(tier topology.Kind, n int) int {
+	return c.domainOfNode[tier][n]
+}
+
+// nodeFreeCounts snapshots the per-node free-slot counts — the seed of the
+// hypothetical capacity walk that computes a blocked head's earliest
+// feasible start (phase2.go:earliestStart).
+func (c *Capacity) nodeFreeCounts() []int {
+	counts := make([]int, len(c.free))
+	for n, slots := range c.free {
+		counts[n] = len(slots)
+	}
+	return counts
+}
+
 // FreeSlots returns a full-length free-slot view (one entry per cluster
 // node) with copies of the free lists of exactly the requested nodes — the
 // shape placement.AssignFreeSlots consumes.

@@ -13,6 +13,10 @@ func FuzzParseJobSpec(f *testing.F) {
 	seeds := []string{
 		"job a arrive=0 work=0 tasks=1",
 		"job j03 arrive=1.5e6 work=2e6 tasks=12 pattern=stencil:4x3@7 vol=65536 required=rack preferred=node",
+		"job p arrive=0 work=1e6 tasks=2 prio=3 required=rack",
+		"job p0 arrive=0 work=1 tasks=1 prio=0",
+		"job bad-prio arrive=0 work=1 tasks=1 prio=101",
+		"job neg-prio arrive=0 work=1 tasks=1 prio=-1",
 		"job x arrive=10 work=100 tasks=8 pattern=ring vol=64",
 		"job y arrive=0 work=1 tasks=6 pattern=stencil:3x2 vol=1 required=machine",
 		"job z arrive=0 work=1 tasks=9 pattern=random:3@5 vol=2 preferred=pod required=pod",
@@ -63,6 +67,7 @@ func FuzzParseJobSpec(f *testing.F) {
 func FuzzParseWorkload(f *testing.F) {
 	f.Add("# comment\n\njob a arrive=0 work=1 tasks=2\njob b arrive=5 work=1 tasks=4 pattern=stencil:2x2\n")
 	f.Add("job a arrive=0 work=1 tasks=2\njob a arrive=1 work=1 tasks=2\n")
+	f.Add("job hi arrive=0 work=1 tasks=2 prio=9 required=rack\njob lo arrive=1 work=1 tasks=2\n")
 	f.Fuzz(func(t *testing.T, text string) {
 		if len(text) > 4096 {
 			return

@@ -115,6 +115,25 @@ type Options struct {
 	// Match tunes the underlying placement heuristics (zero value is the
 	// engine's default portfolio).
 	Match treematch.Options
+	// Backfill lets queued jobs jump a blocked FIFO head when their whole
+	// modeled service fits inside the head's earliest-feasible-start
+	// window, so the head is never delayed (conservative backfill).
+	Backfill bool
+	// Preempt lets a required-constrained arrival of higher priority
+	// checkpoint-and-requeue strictly-lower-priority unconstrained jobs
+	// when that is the only way to open its domain; victims pay the
+	// checkpoint/respawn bill, and the eviction only happens when the
+	// head's modeled wait saving exceeds that bill.
+	Preempt bool
+	// Defrag migrates one running job to compact a domain for a blocked
+	// head once instantaneous fragmentation reaches DefragThreshold,
+	// committing only when the head's wait saving beats the migration
+	// bill (the adaptive engine's hysteresis pattern).
+	Defrag bool
+	// DefragThreshold is the fragmentation weight (0..1, see
+	// Report.FragmentationAvg) that arms defragmentation; 0 arms it
+	// whenever the head is blocked.
+	DefragThreshold float64
 }
 
 // Scheduler is the online multi-tenant scheduler: one instance owns the
@@ -157,20 +176,50 @@ func (s *Scheduler) Capacity() *Capacity { return s.cap }
 
 // JobStat reports one job's fate.
 type JobStat struct {
-	Name  string
-	Tasks int
-	// Cycle timeline: Wait = Start − Arrive, Finish = Start + Service.
+	Name     string
+	Tasks    int
+	Priority int
+	// Cycle timeline: StartCycles is the first dispatch, FinishCycles the
+	// final departure. ServiceCycles accumulates the time actually spent
+	// running (including respawn and migration surcharges) and WaitCycles
+	// the time spent queued, so Arrive + Wait + Service = Finish even for
+	// jobs that were preempted and restarted.
 	ArriveCycles, StartCycles, FinishCycles float64
 	WaitCycles, ServiceCycles, CommCycles   float64
-	// Tier and Domain identify the fabric domain the job was placed into.
+	// Tier and Domain identify the fabric domain of the last placement.
 	Tier   string
 	Domain int
-	// Cores lists the bound core level indices, ascending.
+	// Cores lists the bound core level indices of the last placement,
+	// ascending.
 	Cores []int
-	// NodesSpanned counts distinct cluster nodes of the placement.
+	// NodesSpanned counts distinct cluster nodes of the last placement.
 	NodesSpanned int
-	Rejected     bool
-	RejectReason string
+	// Segments records every [start, finish) × cores residency of the job:
+	// one entry per dispatch, plus one per defrag migration. Preemption
+	// truncates the open segment at the eviction clock. The exclusivity
+	// invariant (no core shared by two jobs at once) is stated over
+	// segments, not over the final Cores.
+	Segments []Segment
+	// Backfilled marks a job that was dispatched past a blocked FIFO head.
+	Backfilled bool
+	// Preemptions counts how many times the job was checkpoint-requeued.
+	Preemptions int
+	// RespawnCycles totals the checkpoint/respawn surcharge the job paid
+	// across restarts (priced by numasim.CheckpointCostCycles and
+	// MigrationCostCycles plus the comm delta of the new layout).
+	RespawnCycles float64
+	// DefragMigrations counts mid-service compaction moves of this job;
+	// DefragCostCycles totals their (signed) service delta.
+	DefragMigrations int
+	DefragCostCycles float64
+	Rejected         bool
+	RejectReason     string
+}
+
+// Segment is one contiguous residency of a job on a fixed core set.
+type Segment struct {
+	StartCycles, FinishCycles float64
+	Cores                     []int
 }
 
 // Report aggregates one scheduler run.
@@ -196,6 +245,12 @@ type Report struct {
 	FragmentationAvg float64
 	// AvgSpread is the mean node count spanned by admitted jobs.
 	AvgSpread float64
+	// Phase-2 policy activity: jobs dispatched past a blocked head,
+	// checkpoint-requeue evictions, and committed compaction moves.
+	Backfills, Preemptions, DefragMigrations int
+	// RespawnCycles totals the checkpoint/respawn bills paid by preempted
+	// jobs; DefragCostCycles the (signed) service deltas of defrag moves.
+	RespawnCycles, DefragCostCycles float64
 }
 
 // jobState tracks one in-flight job through the event loop.
@@ -203,14 +258,30 @@ type jobState struct {
 	spec JobSpec
 	seq  int
 	stat *JobStat
+	// waitSince is when the current queueing episode began: the arrival
+	// for a fresh job, the eviction clock for a preempted one.
+	waitSince float64
+	// resume carries the checkpoint of a preempted job awaiting restart;
+	// nil for jobs that are running fresh.
+	resume *resumeState
 }
 
-// departure orders the running set by (finish, seq).
+// departure orders the running set by (finish, seq) and carries everything a
+// mid-service intervention (preemption, defrag migration) needs to unwind
+// the dispatch: the exact binding, its priced comm, and the service total
+// the dispatch was charged at.
 type departure struct {
 	finish float64
 	seq    int
+	job    *jobState
 	cores  []int
-	stat   *JobStat
+	// taskPU maps task index to bound PU OS index (prices migrations).
+	taskPU []int
+	// comm is the full-matrix communication cost of this layout; service
+	// the total service this dispatch was priced at; lastStart when the
+	// current segment began.
+	comm, service, lastStart float64
+	stat                     *JobStat
 }
 
 type departureHeap []departure
@@ -226,6 +297,141 @@ func (h departureHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *departureHeap) Push(x any)   { *h = append(*h, x.(departure)) }
 func (h *departureHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
 
+// runLoop is one Run invocation's mutable event-loop state. The phase-2
+// policies (phase2.go) are methods on it: they inspect the queue and the
+// running set, perform hypothetical placements against the live capacity
+// index (undoing every probe), and commit through the same dispatch path
+// the FIFO drain uses.
+type runLoop struct {
+	s       *Scheduler
+	rep     *Report
+	queue   []*jobState
+	running departureHeap
+	clock   float64
+	fragInt float64
+	busy    float64
+}
+
+// weight is the instantaneous fragmentation: 1 − maxNodeFree/totalFree.
+func (r *runLoop) weight() float64 {
+	total := r.s.cap.FreeTotal()
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(r.s.cap.MaxNodeFree())/float64(total)
+}
+
+// advance moves the clock to t, accruing time-weighted fragmentation.
+func (r *runLoop) advance(t float64) {
+	if t > r.clock {
+		r.fragInt += r.weight() * (t - r.clock)
+		r.clock = t
+	}
+}
+
+// closeSegment accounts the end of one residency segment: service time and
+// busy slot-cycles accrue only here, so preemption and defrag keep the
+// aggregates exact.
+func (r *runLoop) closeSegment(d *departure, at float64) {
+	delta := at - d.lastStart
+	d.stat.ServiceCycles += delta
+	r.busy += float64(d.stat.Tasks) * delta
+}
+
+// dispatch commits a placement: binds the slots, prices the service
+// (including the respawn bill of a preempted job), opens a residency
+// segment, and schedules the departure.
+func (r *runLoop) dispatch(j *jobState, placed *placementResult, backfilled bool) error {
+	if err := r.s.cap.Bind(placed.cores); err != nil {
+		return fmt.Errorf("sched: bind %s: %w", j.spec.Name, err)
+	}
+	svc, respawn := r.s.serviceOf(j, placed)
+	st := j.stat
+	if len(st.Segments) == 0 {
+		st.StartCycles = r.clock
+	}
+	st.WaitCycles += r.clock - j.waitSince
+	st.CommCycles = placed.comm
+	st.FinishCycles = r.clock + svc
+	st.Tier = placed.tier
+	st.Domain = placed.domain
+	st.Cores = placed.cores
+	st.NodesSpanned = placed.nodes
+	st.Segments = append(st.Segments, Segment{StartCycles: r.clock, FinishCycles: st.FinishCycles, Cores: placed.cores})
+	if respawn > 0 {
+		st.RespawnCycles += respawn
+		r.rep.RespawnCycles += respawn
+	}
+	if backfilled {
+		st.Backfilled = true
+		r.rep.Backfills++
+	}
+	j.resume = nil
+	heap.Push(&r.running, departure{
+		finish: st.FinishCycles, seq: j.seq, job: j, cores: placed.cores,
+		taskPU: placed.taskPU, comm: placed.comm, service: svc, lastStart: r.clock, stat: st,
+	})
+	return nil
+}
+
+// depart releases a finished job's slots and closes its last segment.
+func (r *runLoop) depart(d departure) error {
+	if err := r.s.cap.Release(d.cores); err != nil {
+		return fmt.Errorf("sched: release %s: %w", d.stat.Name, err)
+	}
+	r.closeSegment(&d, d.finish)
+	return nil
+}
+
+// drain places as much of the FIFO queue as capacity allows. When the head
+// is blocked the phase-2 policies get a shot in escalating order of cost:
+// defragment (move one running job, nobody loses time unpaid), preempt
+// (evict strictly-lower-priority jobs, they pay checkpoint/respawn), and
+// finally backfill jobs that provably cannot delay the head.
+func (r *runLoop) drain() error {
+	for len(r.queue) > 0 {
+		j := r.queue[0]
+		placed, full, err := r.s.tryPlace(j)
+		if err != nil {
+			return err
+		}
+		if placed == nil {
+			if full && j.spec.Required != "" && r.s.opts.Queue == QueueReject && j.resume == nil {
+				j.stat.Rejected = true
+				j.stat.RejectReason = "required tier full"
+				r.rep.Rejected++
+				r.queue = r.queue[1:]
+				continue
+			}
+			moved, err := r.defragAttempt(j)
+			if err != nil {
+				return err
+			}
+			if moved {
+				continue // compaction opened the head's domain: retry it
+			}
+			opened, err := r.preemptAttempt(j)
+			if err != nil {
+				return err
+			}
+			if opened {
+				continue // eviction opened the head's domain: retry it
+			}
+			if r.s.opts.Backfill {
+				if err := r.backfill(j); err != nil {
+					return err
+				}
+			}
+			return nil // FIFO head waits; everything behind it waits too
+		}
+		if err := r.dispatch(j, placed, false); err != nil {
+			return err
+		}
+		r.queue = r.queue[1:]
+	}
+	return nil
+}
+
 // Run replays the workload stream through the event loop and returns the
 // report. Jobs are admitted FIFO in arrival order (ties broken by input
 // order); the virtual clock advances from arrival to departure events and
@@ -237,8 +443,8 @@ func (s *Scheduler) Run(jobs []JobSpec) (*Report, error) {
 		if err := spec.Validate(); err != nil {
 			return nil, err
 		}
-		rep.Jobs[i] = JobStat{Name: spec.Name, Tasks: spec.Tasks, ArriveCycles: spec.ArriveCycles}
-		states[i] = &jobState{spec: spec, seq: i, stat: &rep.Jobs[i]}
+		rep.Jobs[i] = JobStat{Name: spec.Name, Tasks: spec.Tasks, Priority: spec.Priority, ArriveCycles: spec.ArriveCycles}
+		states[i] = &jobState{spec: spec, seq: i, stat: &rep.Jobs[i], waitSince: spec.ArriveCycles}
 	}
 	order := make([]*jobState, len(states))
 	copy(order, states)
@@ -246,85 +452,28 @@ func (s *Scheduler) Run(jobs []JobSpec) (*Report, error) {
 		return order[i].spec.ArriveCycles < order[j].spec.ArriveCycles
 	})
 
-	var (
-		queue   []*jobState
-		running departureHeap
-		clock   float64
-		fragInt float64
-		busy    float64
-		next    int
-	)
-	weight := func() float64 {
-		total := s.cap.FreeTotal()
-		if total == 0 {
-			return 0
-		}
-		return 1 - float64(s.cap.MaxNodeFree())/float64(total)
-	}
-	advance := func(t float64) {
-		if t > clock {
-			fragInt += weight() * (t - clock)
-			clock = t
-		}
-	}
-
-	drain := func() error {
-		for len(queue) > 0 {
-			j := queue[0]
-			placed, full, err := s.tryPlace(j)
-			if err != nil {
-				return err
-			}
-			if placed == nil {
-				if full && j.spec.Required != "" && s.opts.Queue == QueueReject {
-					j.stat.Rejected = true
-					j.stat.RejectReason = "required tier full"
-					rep.Rejected++
-					queue = queue[1:]
-					continue
-				}
-				return nil // FIFO head waits; everything behind it waits too
-			}
-			if err := s.cap.Bind(placed.cores); err != nil {
-				return fmt.Errorf("sched: bind %s: %w", j.spec.Name, err)
-			}
-			st := j.stat
-			st.StartCycles = clock
-			st.WaitCycles = clock - st.ArriveCycles
-			st.CommCycles = placed.comm
-			st.ServiceCycles = j.spec.WorkCycles + placed.comm
-			st.FinishCycles = clock + st.ServiceCycles
-			st.Tier = placed.tier
-			st.Domain = placed.domain
-			st.Cores = placed.cores
-			st.NodesSpanned = placed.nodes
-			busy += float64(j.spec.Tasks) * st.ServiceCycles
-			heap.Push(&running, departure{finish: st.FinishCycles, seq: j.seq, cores: placed.cores, stat: st})
-			queue = queue[1:]
-		}
-		return nil
-	}
-
-	for next < len(order) || running.Len() > 0 {
+	r := &runLoop{s: s, rep: rep}
+	next := 0
+	for next < len(order) || r.running.Len() > 0 {
 		tArr, tDep := math.Inf(1), math.Inf(1)
 		if next < len(order) {
 			tArr = order[next].spec.ArriveCycles
 		}
-		if running.Len() > 0 {
-			tDep = running[0].finish
+		if r.running.Len() > 0 {
+			tDep = r.running[0].finish
 		}
 		t := tArr
 		if tDep < t {
 			t = tDep
 		}
-		advance(t)
-		for running.Len() > 0 && running[0].finish == clock {
-			d := heap.Pop(&running).(departure)
-			if err := s.cap.Release(d.cores); err != nil {
-				return nil, fmt.Errorf("sched: release %s: %w", d.stat.Name, err)
+		r.advance(t)
+		for r.running.Len() > 0 && r.running[0].finish == r.clock {
+			d := heap.Pop(&r.running).(departure)
+			if err := r.depart(d); err != nil {
+				return nil, err
 			}
 		}
-		for next < len(order) && order[next].spec.ArriveCycles == clock {
+		for next < len(order) && order[next].spec.ArriveCycles == r.clock {
 			j := order[next]
 			next++
 			if reason := s.infeasible(j.spec); reason != "" {
@@ -333,9 +482,9 @@ func (s *Scheduler) Run(jobs []JobSpec) (*Report, error) {
 				rep.Rejected++
 				continue
 			}
-			queue = append(queue, j)
+			r.queue = append(r.queue, j)
 		}
-		if err := drain(); err != nil {
+		if err := r.drain(); err != nil {
 			return nil, err
 		}
 	}
@@ -357,10 +506,29 @@ func (s *Scheduler) Run(jobs []JobSpec) (*Report, error) {
 		rep.AvgSpread /= float64(rep.Admitted)
 	}
 	if rep.MakespanCycles > 0 {
-		rep.BusyUtilization = busy / (float64(s.topo.NumCores()) * rep.MakespanCycles)
-		rep.FragmentationAvg = fragInt / rep.MakespanCycles
+		rep.BusyUtilization = r.busy / (float64(s.topo.NumCores()) * rep.MakespanCycles)
+		rep.FragmentationAvg = r.fragInt / rep.MakespanCycles
 	}
 	return rep, nil
+}
+
+// serviceOf prices one dispatch of a job under a placement. A fresh job is
+// its work plus the layout's comm; a preempted job resumes its outstanding
+// remainder, re-priced for the new layout's comm on the outstanding
+// fraction, plus the respawn bill of pulling every task's checkpoint image
+// from its old PU (numasim.MigrationCostCycles). The second return is that
+// respawn bill alone.
+func (s *Scheduler) serviceOf(j *jobState, placed *placementResult) (svc, respawn float64) {
+	if j.resume == nil {
+		return j.spec.WorkCycles + placed.comm, 0
+	}
+	rs := j.resume
+	ws := workingSetBytes(j.spec)
+	for t, old := range rs.oldPUs {
+		respawn += s.mach.MigrationCostCycles(old, placed.taskPU[t], ws)
+	}
+	svc = rs.remaining + (placed.comm-rs.comm)*rs.remFrac + respawn
+	return svc, respawn
 }
 
 // infeasible reports why a job can never run on this platform, or "" when it
@@ -470,9 +638,13 @@ func tierIndex(tiers []topology.Kind, k topology.Kind) int {
 	return len(tiers) - 1
 }
 
-// placementResult carries one successful placement attempt.
+// placementResult carries one successful placement attempt. tryPlace never
+// mutates the capacity index, so results double as hypothetical placements:
+// the phase-2 policies probe them against temporarily released capacity and
+// only dispatch commits a binding.
 type placementResult struct {
 	cores  []int
+	taskPU []int
 	comm   float64
 	tier   string
 	domain int
@@ -646,6 +818,7 @@ func (s *Scheduler) finishPlacement(spec JobSpec, m *comm.Matrix, taskPU []int, 
 	}
 	return &placementResult{
 		cores:  sorted,
+		taskPU: append([]int(nil), taskPU...),
 		comm:   commCycles,
 		tier:   tierName(tier),
 		domain: d,
@@ -664,16 +837,29 @@ func FormatReport(rep *Report, mach *numasim.Machine) string {
 			fmt.Fprintf(&b, "%-10s %6d %10s %10s %10s  rejected: %s\n", j.Name, j.Tasks, "-", "-", "-", j.RejectReason)
 			continue
 		}
-		fmt.Fprintf(&b, "%-10s %6d %10.6f %10.6f %10.6f  %s[%d] over %d node(s)\n",
+		notes := ""
+		if j.Backfilled {
+			notes += " [backfilled]"
+		}
+		if j.Preemptions > 0 {
+			notes += fmt.Sprintf(" [preempted x%d]", j.Preemptions)
+		}
+		if j.DefragMigrations > 0 {
+			notes += fmt.Sprintf(" [defrag x%d]", j.DefragMigrations)
+		}
+		fmt.Fprintf(&b, "%-10s %6d %10.6f %10.6f %10.6f  %s[%d] over %d node(s)%s\n",
 			j.Name, j.Tasks,
 			mach.CyclesToSeconds(j.WaitCycles),
 			mach.CyclesToSeconds(j.ServiceCycles),
 			mach.CyclesToSeconds(j.FinishCycles-j.ArriveCycles),
-			j.Tier, j.Domain, j.NodesSpanned)
+			j.Tier, j.Domain, j.NodesSpanned, notes)
 	}
 	fmt.Fprintf(&b, "aggregate job time %.6fs  makespan %.6fs  wait %.6fs\n",
 		mach.CyclesToSeconds(rep.AggregateCycles), mach.CyclesToSeconds(rep.MakespanCycles), mach.CyclesToSeconds(rep.WaitCycles))
 	fmt.Fprintf(&b, "utilization %.3f  fragmentation %.3f  avg spread %.2f nodes\n",
 		rep.BusyUtilization, rep.FragmentationAvg, rep.AvgSpread)
+	fmt.Fprintf(&b, "backfills %d  preemptions %d (respawn %.6fs)  defrag moves %d (%.6fs)\n",
+		rep.Backfills, rep.Preemptions, mach.CyclesToSeconds(rep.RespawnCycles),
+		rep.DefragMigrations, mach.CyclesToSeconds(rep.DefragCostCycles))
 	return b.String()
 }

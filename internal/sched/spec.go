@@ -47,6 +47,11 @@ type JobSpec struct {
 	Pattern string
 	// VolumeBytes is the data volume per task-graph edge.
 	VolumeBytes float64
+	// Priority is the job's preemption class (0 = lowest, the default).
+	// Under the preemption policy a required-constrained arrival may
+	// checkpoint-and-requeue running jobs of strictly lower priority when
+	// that is the only way to open its domain.
+	Priority int
 	// Required is the hard placement boundary: the job must fit entirely
 	// inside one domain of this tier or it cannot run. Empty = whole
 	// machine.
@@ -73,6 +78,9 @@ func (s JobSpec) Validate() error {
 	}
 	if math.IsNaN(s.VolumeBytes) || math.IsInf(s.VolumeBytes, 0) || s.VolumeBytes < 0 {
 		return fmt.Errorf("sched: job %s: vol %v out of range", s.Name, s.VolumeBytes)
+	}
+	if s.Priority < 0 || s.Priority > 100 {
+		return fmt.Errorf("sched: job %s: prio %d out of range [0,100]", s.Name, s.Priority)
 	}
 	if _, _, _, err := parsePattern(s.Pattern, s.Tasks); err != nil {
 		return fmt.Errorf("sched: job %s: %w", s.Name, err)
@@ -208,6 +216,9 @@ func (s JobSpec) Render() string {
 	if s.VolumeBytes != 0 {
 		fmt.Fprintf(&b, " vol=%g", s.VolumeBytes)
 	}
+	if s.Priority != 0 {
+		fmt.Fprintf(&b, " prio=%d", s.Priority)
+	}
 	if s.Required != "" {
 		fmt.Fprintf(&b, " required=%s", s.Required)
 	}
@@ -247,6 +258,8 @@ func ParseJobSpec(line string) (JobSpec, error) {
 			s.Tasks, err = strconv.Atoi(val)
 		case "vol":
 			s.VolumeBytes, err = parseFinite(val)
+		case "prio":
+			s.Priority, err = strconv.Atoi(val)
 		case "pattern":
 			s.Pattern = val
 			if s.Pattern == "ring" {

@@ -34,6 +34,21 @@ type StreamConfig struct {
 	// PreferredTier and RequiredTier are the constraint tiers of the
 	// constrained fraction ("" disables that side).
 	PreferredTier, RequiredTier string
+	// LongFraction makes the work distribution heavy-tailed: that
+	// fraction of jobs multiplies its drawn work by LongFactor (default
+	// 8 when unset). 0 disables the tail and consumes no extra random
+	// draws, keeping phase-1 streams bit-identical. Long residents are
+	// what gives a blocked head a real earliest-start window — the gap
+	// conservative backfill packs short jobs into.
+	LongFraction, LongFactor float64
+	// PriorityClasses enables priority generation: when > 1, every
+	// constrained job draws a priority uniformly in [1, PriorityClasses)
+	// while unconstrained jobs stay at priority 0 — exactly the mix the
+	// preemption policy acts on (required-constrained arrivals outrank
+	// the flexible background jobs they may evict). 0 or 1 leaves every
+	// job at priority 0 and consumes no extra random draws, so phase-1
+	// streams are bit-identical to their pre-priority form.
+	PriorityClasses int
 }
 
 func (cfg StreamConfig) withDefaults() StreamConfig {
@@ -55,6 +70,9 @@ func (cfg StreamConfig) withDefaults() StreamConfig {
 	if cfg.Churn == 0 {
 		cfg.Churn = 4
 	}
+	if cfg.LongFraction > 0 && cfg.LongFactor == 0 {
+		cfg.LongFactor = 8
+	}
 	return cfg
 }
 
@@ -74,6 +92,15 @@ func (cfg StreamConfig) Validate() error {
 		if n < 1 {
 			return fmt.Errorf("sched: stream size %d out of range", n)
 		}
+	}
+	if cfg.PriorityClasses < 0 || cfg.PriorityClasses > 100 {
+		return fmt.Errorf("sched: priority classes %d out of range [0,100]", cfg.PriorityClasses)
+	}
+	if cfg.LongFraction < 0 || cfg.LongFraction > 1 || math.IsNaN(cfg.LongFraction) {
+		return fmt.Errorf("sched: long fraction %v out of range [0,1]", cfg.LongFraction)
+	}
+	if cfg.LongFraction > 0 && (cfg.LongFactor < 1 || cfg.LongFactor > 1000 || math.IsNaN(cfg.LongFactor)) {
+		return fmt.Errorf("sched: long factor %v out of range [1,1000]", cfg.LongFactor)
 	}
 	return nil
 }
@@ -105,10 +132,14 @@ func GenerateStream(cfg StreamConfig) ([]JobSpec, error) {
 		arrive += rng.ExpFloat64() * mean
 		tasks := cfg.Sizes[rng.Intn(len(cfg.Sizes))]
 		w, h := squarestDims(tasks)
+		work := math.Floor(cfg.WorkCycles * (0.5 + rng.Float64()))
+		if cfg.LongFraction > 0 && rng.Float64() < cfg.LongFraction {
+			work = math.Floor(work * cfg.LongFactor)
+		}
 		spec := JobSpec{
 			Name:         fmt.Sprintf("j%03d", i),
 			ArriveCycles: math.Floor(arrive),
-			WorkCycles:   math.Floor(cfg.WorkCycles * (0.5 + rng.Float64())),
+			WorkCycles:   work,
 			Tasks:        tasks,
 			Pattern:      fmt.Sprintf("stencil:%dx%d@%d", w, h, rng.Int63n(1<<31)),
 			VolumeBytes:  cfg.VolumeBytes,
@@ -116,6 +147,9 @@ func GenerateStream(cfg StreamConfig) ([]JobSpec, error) {
 		if rng.Float64() < cfg.ConstraintFraction {
 			spec.Preferred = cfg.PreferredTier
 			spec.Required = cfg.RequiredTier
+			if cfg.PriorityClasses > 1 {
+				spec.Priority = 1 + rng.Intn(cfg.PriorityClasses-1)
+			}
 		}
 		if err := spec.Validate(); err != nil {
 			return nil, err
